@@ -1,0 +1,87 @@
+// Ablation E10: cost of individual design choices called out in DESIGN.md.
+//
+//   * honor_locks on/off        -- what coexistence costs a pure-MV/O run
+//   * logging disabled/async/sync -- what group commit buys
+//   * GC on/off                 -- what version cleanup costs (and what
+//                                  unbounded chains would do instead)
+// Homogeneous R=10/W=2 workload at a fixed multiprogramming level.
+#include "bench/harness.h"
+#include "common/random.h"
+#include "workload/homogeneous.h"
+
+using namespace mvstore;
+using namespace mvstore::bench;
+
+namespace {
+
+double MeasureTps(const DatabaseOptions& opts, uint64_t rows, uint32_t threads,
+                  double seconds) {
+  Database db(opts);
+  TableId table = workload::CreateAndLoadRows(db, rows);
+  RunResult r = RunFixedDuration(
+      threads, seconds,
+      [&](uint32_t tid, std::atomic<bool>& stop, WorkerCounters& c) {
+        Random rng(0xAB1 + tid);
+        while (!stop.load(std::memory_order_relaxed)) {
+          Status s = workload::RunUpdateTxn(db, table, rng, rows, 10, 2,
+                                            IsolationLevel::kReadCommitted);
+          if (s.ok()) {
+            ++c.committed;
+          } else {
+            ++c.aborted;
+          }
+        }
+      });
+  return r.tps();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t rows = flags.GetUint("rows", 100000);
+  const double seconds = flags.GetDouble("seconds", 0.5);
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetUint("threads", DefaultMaxThreads()));
+
+  std::printf("# Ablations: MV/O, R=10 W=2, N=%llu, MPL=%u\n",
+              static_cast<unsigned long long>(rows), threads);
+  std::printf("%-40s %16s\n", "configuration", "tx/sec");
+
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    std::printf("%-40s %16.0f\n", "baseline (honor_locks, async log, gc)",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    opts.honor_locks = false;
+    std::printf("%-40s %16.0f\n", "pure MV/O (no lock honoring barrier)",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    opts.log_mode = LogMode::kDisabled;
+    std::printf("%-40s %16.0f\n", "logging disabled",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    opts.log_mode = LogMode::kSync;
+    std::printf("%-40s %16.0f\n", "synchronous logging (durable commit)",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    opts.gc_interval_us = 0;  // cooperative only
+    std::printf("%-40s %16.0f\n", "no background GC (cooperative only)",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionLocking);
+    opts.deadlock_interval_us = 100;
+    std::printf("%-40s %16.0f\n", "MV/L with aggressive deadlock detection",
+                MeasureTps(opts, rows, threads, seconds));
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 4: transaction throughput vs multiprogramming level under LOW
+// contention (10M rows at paper scale; scaled-down default for laptops).
+// Expected shape: all three schemes scale; 1V highest, MV/O next, MV/L
+// ~30% below MV/O (version management + dependency tracking overhead).
+#include "bench/homogeneous_bench.h"
+
+int main(int argc, char** argv) {
+  return mvstore::bench::RunScalabilityBench(argc, argv,
+                                             /*default_rows=*/200000,
+                                             "Figure 4 (low contention)");
+}

@@ -1,0 +1,11 @@
+// Figure 5: transaction throughput vs multiprogramming level under HIGH
+// contention (hotspot: N=1,000 rows). Expected shape: 1V peaks early and
+// flattens (lock conflicts); MV/O stays slightly ahead of both locking
+// schemes; all remain above ~1M tx/s equivalent for their scale.
+#include "bench/homogeneous_bench.h"
+
+int main(int argc, char** argv) {
+  return mvstore::bench::RunScalabilityBench(argc, argv,
+                                             /*default_rows=*/1000,
+                                             "Figure 5 (high contention)");
+}

@@ -1,0 +1,10 @@
+// Figure 6: impact of short read-only transactions, LOW contention.
+// Expected shape: the gap between schemes narrows as the read ratio grows
+// (less update activity, less GC); MV schemes overtake 1V when most
+// transactions are read-only (1V still pays short read locks).
+#include "bench/read_mix_bench.h"
+
+int main(int argc, char** argv) {
+  return mvstore::bench::RunReadMixBench(argc, argv, /*default_rows=*/200000,
+                                         "Figure 6 (low contention)");
+}

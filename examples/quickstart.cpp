@@ -1,0 +1,87 @@
+// Quickstart: create a table, run transactions under each concurrency
+// control scheme, and inspect engine statistics.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/database.h"
+
+using namespace mvstore;
+
+struct Item {
+  uint64_t sku;       // primary key
+  uint64_t quantity;
+  uint64_t price_cents;
+};
+
+uint64_t ItemKey(const void* payload) {
+  return static_cast<const Item*>(payload)->sku;
+}
+
+int main() {
+  for (Scheme scheme : {Scheme::kSingleVersion, Scheme::kMultiVersionLocking,
+                        Scheme::kMultiVersionOptimistic}) {
+    std::printf("=== scheme %s ===\n", SchemeName(scheme));
+
+    DatabaseOptions options;
+    options.scheme = scheme;
+    Database db(options);
+
+    // A table needs a payload size and at least one (primary) hash index.
+    TableDef def;
+    def.name = "inventory";
+    def.payload_size = sizeof(Item);
+    def.indexes.push_back(IndexDef{&ItemKey, /*bucket_count=*/1024,
+                                   /*unique=*/true});
+    TableId inventory = db.CreateTable(def);
+
+    // Insert a few items in one transaction.
+    Txn* txn = db.Begin(IsolationLevel::kReadCommitted);
+    for (uint64_t sku = 1; sku <= 3; ++sku) {
+      Item item{sku, 10 * sku, 99 * sku};
+      Status s = db.Insert(txn, inventory, &item);
+      if (!s.ok()) {
+        std::printf("insert failed: %s\n", s.ToString().c_str());
+        db.Abort(txn);
+        return 1;
+      }
+    }
+    if (!db.Commit(txn).ok()) return 1;
+
+    // Read-modify-write with automatic retry on aborts.
+    Status s = db.RunTransaction(
+        IsolationLevel::kSerializable, [&](Txn* t) {
+          Item item{};
+          Status rs = t != nullptr ? db.Read(t, inventory, 0, 2, &item)
+                                   : Status::Internal();
+          if (!rs.ok()) return rs;
+          return db.Update(t, inventory, 0, 2, [](void* p) {
+            static_cast<Item*>(p)->quantity -= 1;  // sell one unit
+          });
+        });
+    std::printf("sell txn: %s\n", s.ToString().c_str());
+
+    // Point read.
+    txn = db.Begin(IsolationLevel::kReadCommitted, /*read_only=*/true);
+    Item item{};
+    if (db.Read(txn, inventory, 0, 2, &item).ok()) {
+      std::printf("sku 2: quantity=%llu price=%llu\n",
+                  static_cast<unsigned long long>(item.quantity),
+                  static_cast<unsigned long long>(item.price_cents));
+    }
+    db.Commit(txn);
+
+    // Deletes.
+    s = db.RunTransaction(IsolationLevel::kReadCommitted, [&](Txn* t) {
+      return db.Delete(t, inventory, 0, 3);
+    });
+    std::printf("delete txn: %s\n", s.ToString().c_str());
+
+    std::printf("committed=%llu aborted=%llu\n\n",
+                static_cast<unsigned long long>(
+                    db.stats().Get(Stat::kTxnCommitted)),
+                static_cast<unsigned long long>(
+                    db.stats().Get(Stat::kTxnAborted)));
+  }
+  return 0;
+}

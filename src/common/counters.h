@@ -1,0 +1,106 @@
+// Engine-wide statistics counters.
+//
+// Counters are striped across cache lines and aggregated on read, so hot
+// paths pay one relaxed fetch_add on a (mostly) core-private line.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/port.h"
+
+namespace mvstore {
+
+/// Which event a counter tracks. Keep in sync with StatNames().
+enum class Stat : uint32_t {
+  kTxnCommitted = 0,
+  kTxnAborted,
+  kAbortWriteConflict,
+  kAbortValidation,
+  kAbortPhantom,
+  kAbortCascading,
+  kAbortDeadlock,
+  kAbortLockFailed,
+  kCommitDepsTaken,
+  kCommitDepWaits,
+  kSpeculativeReads,
+  kSpeculativeIgnores,
+  kWaitForDepsTaken,
+  kPrecommitWaits,
+  kVersionsCreated,
+  kVersionsCollected,
+  kDeadlocksDetected,
+  kLockWaits,
+  kNumStats,
+};
+
+inline const char* StatName(Stat stat) {
+  static const char* kNames[] = {
+      "txn_committed",      "txn_aborted",        "abort_write_conflict",
+      "abort_validation",   "abort_phantom",      "abort_cascading",
+      "abort_deadlock",     "abort_lock_failed",  "commit_deps_taken",
+      "commit_dep_waits",   "speculative_reads",  "speculative_ignores",
+      "waitfor_deps_taken", "precommit_waits",    "versions_created",
+      "versions_collected", "deadlocks_detected", "lock_waits",
+  };
+  return kNames[static_cast<uint32_t>(stat)];
+}
+
+/// Striped counter set. `kStripes` should be >= typical thread counts; a
+/// thread hashes to a stripe by its id.
+class StatsCollector {
+ public:
+  static constexpr uint32_t kStripes = 64;
+
+  void Add(Stat stat, uint64_t delta = 1) {
+    stripes_[StripeIndex()].values[static_cast<uint32_t>(stat)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Get(Stat stat) const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total +=
+          stripe.values[static_cast<uint32_t>(stat)].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& stripe : stripes_) {
+      for (auto& value : stripe.values) value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Multi-line human-readable dump of all non-zero counters.
+  std::string ToString() const {
+    std::string out;
+    for (uint32_t i = 0; i < static_cast<uint32_t>(Stat::kNumStats); ++i) {
+      uint64_t v = Get(static_cast<Stat>(i));
+      if (v == 0) continue;
+      out += StatName(static_cast<Stat>(i));
+      out += "=";
+      out += std::to_string(v);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  static uint32_t StripeIndex() {
+    static std::atomic<uint32_t> next_id{0};
+    thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+    return id % kStripes;
+  }
+
+  struct alignas(kCacheLineSize) Stripe {
+    std::array<std::atomic<uint64_t>, static_cast<uint32_t>(Stat::kNumStats)>
+        values{};
+  };
+
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+}  // namespace mvstore

@@ -1,0 +1,34 @@
+// Platform and compiler portability helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace mvstore {
+
+/// Size of a cache line on every platform we target. Used to pad hot shared
+/// state so that independently-updated words do not false-share.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MVSTORE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MVSTORE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define MVSTORE_LIKELY(x) (x)
+#define MVSTORE_UNLIKELY(x) (x)
+#endif
+
+/// CPU pause hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fall back to a compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace mvstore

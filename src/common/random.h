@@ -1,0 +1,59 @@
+// Fast thread-local pseudo-random number generation for workloads and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace mvstore {
+
+/// xoshiro256** by Blackman & Vigna. Not cryptographic; fast and high
+/// quality, which is what workload generators need. Each worker thread owns
+/// one instance seeded distinctly so runs are reproducible given a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ull;
+      s = (s ^ (s >> 27)) * 0x94D049BB133111EBull;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability pct/100.
+  bool PercentChance(uint32_t pct) { return Uniform(100) < pct; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mvstore

@@ -1,0 +1,46 @@
+// Tiny test-and-test-and-set spin latch for short critical sections.
+#pragma once
+
+#include <atomic>
+
+#include "common/port.h"
+
+namespace mvstore {
+
+/// A one-byte spin latch. Use only around critical sections of a few dozen
+/// instructions (list splices, counter pairs); anything longer should use a
+/// real mutex. Not recursive.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+    }
+  }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace mvstore {
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "None";
+    case AbortReason::kWriteWriteConflict:
+      return "WriteWriteConflict";
+    case AbortReason::kReadValidation:
+      return "ReadValidation";
+    case AbortReason::kPhantom:
+      return "Phantom";
+    case AbortReason::kCascading:
+      return "Cascading";
+    case AbortReason::kReadLockFailed:
+      return "ReadLockFailed";
+    case AbortReason::kWaitForRefused:
+      return "WaitForRefused";
+    case AbortReason::kDeadlock:
+      return "Deadlock";
+    case AbortReason::kLockTimeout:
+      return "LockTimeout";
+    case AbortReason::kUserRequested:
+      return "UserRequested";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kAborted:
+      return std::string("Aborted(") + AbortReasonName(reason_) + ")";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace mvstore

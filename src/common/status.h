@@ -1,0 +1,97 @@
+// Status: lightweight result type for every fallible public operation.
+//
+// Modeled on the RocksDB/Arrow convention: operations return a Status (or a
+// value plus a Status) instead of throwing. Transaction aborts are *expected*
+// outcomes in a concurrency-control engine, so they are Status codes, not
+// exceptions. The abort subcode records which mechanism killed the
+// transaction; benchmarks and tests aggregate on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mvstore {
+
+/// Reason a transaction was aborted. `kNone` means the status is not an
+/// abort at all.
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  /// First-writer-wins: tried to update a version already write-locked by a
+  /// concurrent transaction (write-write conflict, Section 2.6).
+  kWriteWriteConflict,
+  /// Optimistic read validation failed: a version read is no longer visible
+  /// as of the end of the transaction (Section 3.2).
+  kReadValidation,
+  /// Optimistic phantom validation failed: a scan returned a new visible
+  /// version (Section 3.2).
+  kPhantom,
+  /// A transaction this one speculatively depended on aborted (Section 2.7).
+  kCascading,
+  /// Pessimistic: could not acquire a read lock (count saturated or
+  /// NoMoreReadLocks set, Section 4.1.1).
+  kReadLockFailed,
+  /// Pessimistic: could not install a wait-for dependency because the target
+  /// set NoMoreWaitFors (Section 4.2).
+  kWaitForRefused,
+  /// Chosen as a deadlock victim (Section 4.4), or 1V lock wait timed out.
+  kDeadlock,
+  /// 1V: lock acquisition timed out (treated as a probable deadlock).
+  kLockTimeout,
+  /// Explicit user abort.
+  kUserRequested,
+};
+
+/// Human-readable name for an abort reason.
+const char* AbortReasonName(AbortReason reason);
+
+/// Result of an operation. Cheap to copy in the common OK case.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kAborted,        // transaction must abort; see AbortReason
+    kNotFound,       // key/record not found
+    kInvalidArgument,
+    kAlreadyExists,  // unique-key violation on insert
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Aborted(AbortReason reason) {
+    return Status(Code::kAborted, reason);
+  }
+  static Status NotFound() { return Status(Code::kNotFound, AbortReason::kNone); }
+  static Status InvalidArgument() {
+    return Status(Code::kInvalidArgument, AbortReason::kNone);
+  }
+  static Status AlreadyExists() {
+    return Status(Code::kAlreadyExists, AbortReason::kNone);
+  }
+  static Status Internal() { return Status(Code::kInternal, AbortReason::kNone); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+
+  Code code() const { return code_; }
+  AbortReason abort_reason() const { return reason_; }
+
+  /// "OK", "Aborted(WriteWriteConflict)", ...
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && reason_ == other.reason_;
+  }
+
+ private:
+  Status(Code code, AbortReason reason) : code_(code), reason_(reason) {}
+
+  Code code_ = Code::kOk;
+  AbortReason reason_ = AbortReason::kNone;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,33 @@
+// Monotonic-clock helpers for benchmarks and timeouts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mvstore {
+
+/// Nanoseconds on the steady (monotonic) clock.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Simple stopwatch.
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace mvstore

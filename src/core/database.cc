@@ -1,0 +1,141 @@
+#include "core/database.h"
+
+namespace mvstore {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  if (options_.scheme == Scheme::kSingleVersion) {
+    SVEngineOptions sv;
+    sv.lock_timeout_us = options_.lock_timeout_us;
+    sv.log_mode = options_.log_mode;
+    sv.log_path = options_.log_path;
+    sv_ = std::make_unique<SVEngine>(sv);
+  } else {
+    MVEngineOptions mv;
+    mv.honor_locks = options_.honor_locks;
+    mv.log_mode = options_.log_mode;
+    mv.log_path = options_.log_path;
+    mv.gc_interval_us = options_.gc_interval_us;
+    mv.deadlock_interval_us = options_.deadlock_interval_us;
+    mv_ = std::make_unique<MVEngine>(mv);
+  }
+}
+
+Database::~Database() = default;
+
+TableId Database::CreateTable(TableDef def) {
+  return mv_ != nullptr ? mv_->CreateTable(std::move(def))
+                        : sv_->CreateTable(std::move(def));
+}
+
+uint32_t Database::PayloadSize(TableId table_id) {
+  return mv_ != nullptr ? mv_->table(table_id).payload_size()
+                        : sv_->table(table_id).payload_size();
+}
+
+Txn* Database::Begin(IsolationLevel isolation, bool read_only) {
+  Txn* txn = new Txn();
+  txn->isolation = isolation;
+  if (mv_ != nullptr) {
+    bool pessimistic = options_.scheme == Scheme::kMultiVersionLocking;
+    txn->mv = mv_->Begin(isolation, pessimistic, read_only);
+  } else {
+    txn->sv = sv_->Begin(isolation, read_only);
+  }
+  return txn;
+}
+
+Status Database::Commit(Txn* txn) {
+  Status s = txn->mv != nullptr ? mv_->Commit(txn->mv) : sv_->Commit(txn->sv);
+  delete txn;
+  return s;
+}
+
+void Database::Abort(Txn* txn) {
+  if (txn->mv != nullptr) {
+    mv_->Abort(txn->mv);
+  } else {
+    sv_->Abort(txn->sv);
+  }
+  delete txn;
+}
+
+Status Database::Read(Txn* txn, TableId table_id, IndexId index_id,
+                      uint64_t key, void* out) {
+  Status s = txn->mv != nullptr
+                 ? mv_->Read(txn->mv, table_id, index_id, key, out)
+                 : sv_->Read(txn->sv, table_id, index_id, key, out);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::Scan(Txn* txn, TableId table_id, IndexId index_id,
+                      uint64_t key,
+                      const std::function<bool(const void*)>& residual,
+                      const std::function<bool(const void*)>& consumer) {
+  Status s =
+      txn->mv != nullptr
+          ? mv_->Scan(txn->mv, table_id, index_id, key, residual, consumer)
+          : sv_->Scan(txn->sv, table_id, index_id, key, residual, consumer);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::ScanTable(Txn* txn, TableId table_id,
+                           const std::function<bool(const void*)>& consumer) {
+  Status s = txn->mv != nullptr
+                 ? mv_->ScanTable(txn->mv, table_id, consumer)
+                 : sv_->ScanTable(txn->sv, table_id, consumer);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::Insert(Txn* txn, TableId table_id, const void* payload) {
+  Status s = txn->mv != nullptr ? mv_->Insert(txn->mv, table_id, payload)
+                                : sv_->Insert(txn->sv, table_id, payload);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::Update(Txn* txn, TableId table_id, IndexId index_id,
+                        uint64_t key,
+                        const std::function<void(void*)>& mutator) {
+  Status s =
+      txn->mv != nullptr
+          ? mv_->Update(txn->mv, table_id, index_id, key, mutator)
+          : sv_->Update(txn->sv, table_id, index_id, key, mutator);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::Delete(Txn* txn, TableId table_id, IndexId index_id,
+                        uint64_t key) {
+  Status s = txn->mv != nullptr
+                 ? mv_->Delete(txn->mv, table_id, index_id, key)
+                 : sv_->Delete(txn->sv, table_id, index_id, key);
+  if (s.IsAborted()) delete txn;
+  return s;
+}
+
+Status Database::RunTransaction(IsolationLevel isolation,
+                                const std::function<Status(Txn*)>& body,
+                                uint32_t max_retries) {
+  Status s;
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    Txn* txn = Begin(isolation);
+    s = body(txn);
+    if (s.IsAborted()) continue;  // already rolled back; retry
+    if (!s.ok()) {
+      Abort(txn);
+      return s;
+    }
+    s = Commit(txn);
+    if (!s.IsAborted()) return s;
+  }
+  return s;
+}
+
+StatsCollector& Database::stats() {
+  return mv_ != nullptr ? mv_->stats() : sv_->stats();
+}
+
+}  // namespace mvstore

@@ -1,0 +1,117 @@
+// Database: the library's public facade.
+//
+// Wraps the three concurrency-control engines behind a single API so that
+// applications, tests and benchmarks can switch schemes with one option:
+//
+//   DatabaseOptions opts;
+//   opts.scheme = Scheme::kMultiVersionOptimistic;   // "MV/O"
+//   Database db(opts);
+//   TableId accounts = db.CreateTable(...);
+//   Txn* txn = db.Begin(IsolationLevel::kSerializable);
+//   db.Read(txn, accounts, 0, key, &row);
+//   ...
+//   Status s = db.Commit(txn);
+//
+// All data operations return Status; Status::IsAborted() means the
+// transaction has already been rolled back and the handle is dead. The
+// caller simply retries with a fresh transaction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cc/mv_engine.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/table.h"
+#include "sv/sv_engine.h"
+
+namespace mvstore {
+
+struct DatabaseOptions {
+  Scheme scheme = Scheme::kMultiVersionOptimistic;
+
+  /// Logging (paper configuration: asynchronous group commit).
+  LogMode log_mode = LogMode::kAsync;
+  /// Empty: in-memory byte-counting sink. Otherwise a file path.
+  std::string log_path;
+
+  /// MV engines: see MVEngineOptions.
+  bool honor_locks = true;
+  uint32_t gc_interval_us = 2000;
+  uint32_t deadlock_interval_us = 1000;
+
+  /// 1V engine: lock-wait timeout (deadlock breaking).
+  uint64_t lock_timeout_us = 2000;
+};
+
+/// Opaque transaction handle; owned by the Database between Begin and
+/// Commit/Abort.
+struct Txn {
+  Transaction* mv = nullptr;
+  SVTransaction* sv = nullptr;
+  IsolationLevel isolation;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Scheme scheme() const { return options_.scheme; }
+
+  /// Create a table; index 0 is the primary index.
+  TableId CreateTable(TableDef def);
+
+  /// Number of payload bytes per row of `table_id`.
+  uint32_t PayloadSize(TableId table_id);
+
+  /// --- transactions ---------------------------------------------------------
+
+  Txn* Begin(IsolationLevel isolation, bool read_only = false);
+  Status Commit(Txn* txn);
+  void Abort(Txn* txn);
+
+  /// --- operations -----------------------------------------------------------
+
+  /// Copy the row with `key` (via `index_id`) into `out`.
+  Status Read(Txn* txn, TableId table_id, IndexId index_id, uint64_t key,
+              void* out);
+  /// Visit every row matching `key` and the optional residual predicate.
+  Status Scan(Txn* txn, TableId table_id, IndexId index_id, uint64_t key,
+              const std::function<bool(const void*)>& residual,
+              const std::function<bool(const void*)>& consumer);
+  /// Visit every visible row of the table (full-table scan through the
+  /// primary index). MV: snapshot-consistent at the transaction's read
+  /// time. 1V: per-row cursor stability only.
+  Status ScanTable(Txn* txn, TableId table_id,
+                   const std::function<bool(const void*)>& consumer);
+  Status Insert(Txn* txn, TableId table_id, const void* payload);
+  Status Update(Txn* txn, TableId table_id, IndexId index_id, uint64_t key,
+                const std::function<void(void*)>& mutator);
+  Status Delete(Txn* txn, TableId table_id, IndexId index_id, uint64_t key);
+
+  /// Run `body(txn)` with automatic retry on abort. `body` returns a Status;
+  /// non-abort failures are returned as-is after an internal Abort.
+  Status RunTransaction(IsolationLevel isolation,
+                        const std::function<Status(Txn*)>& body,
+                        uint32_t max_retries = 1000);
+
+  /// --- introspection ----------------------------------------------------------
+
+  StatsCollector& stats();
+  /// MV engines only (nullptr under 1V): direct access for tests/benches.
+  MVEngine* mv_engine() { return mv_.get(); }
+  SVEngine* sv_engine() { return sv_.get(); }
+
+ private:
+  DatabaseOptions options_;
+  std::unique_ptr<MVEngine> mv_;
+  std::unique_ptr<SVEngine> sv_;
+};
+
+}  // namespace mvstore

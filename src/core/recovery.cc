@@ -1,0 +1,85 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace mvstore {
+
+bool ParseAllRecords(const std::vector<uint8_t>& bytes,
+                     std::vector<ParsedLogRecord>* records) {
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    ParsedLogRecord record;
+    if (!ParseLogRecord(bytes, pos, &record)) return false;
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
+std::vector<uint8_t> ReadLogFile(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size > 0) {
+    bytes.resize(static_cast<size_t>(size));
+    size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
+    bytes.resize(read);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+Status ReplayRecords(Database& db, std::vector<ParsedLogRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const ParsedLogRecord& a, const ParsedLogRecord& b) {
+              return a.end_ts < b.end_ts;
+            });
+  for (const ParsedLogRecord& record : records) {
+    Txn* txn = db.Begin(IsolationLevel::kReadCommitted);
+    for (const ParsedLogOp& op : record.ops) {
+      Status s;
+      switch (op.op) {
+        case LogOp::kInsert: {
+          if (op.bytes.size() != db.PayloadSize(op.table)) {
+            db.Abort(txn);
+            return Status::Internal();
+          }
+          s = db.Insert(txn, op.table, op.bytes.data());
+          break;
+        }
+        case LogOp::kUpdate: {
+          s = db.Update(txn, op.table, /*index=*/0, op.key, [&](void* p) {
+            std::memcpy(static_cast<char*>(p) + op.offset, op.bytes.data(),
+                        op.bytes.size());
+          });
+          break;
+        }
+        case LogOp::kDelete: {
+          s = db.Delete(txn, op.table, /*index=*/0, op.key);
+          break;
+        }
+      }
+      if (s.IsAborted()) return Status::Internal();  // replay is single-threaded
+      if (!s.ok()) {
+        db.Abort(txn);
+        return Status::Internal();
+      }
+    }
+    Status c = db.Commit(txn);
+    if (!c.ok()) return Status::Internal();
+  }
+  return Status::OK();
+}
+
+Status RecoverFromLogFile(Database& db, const std::string& path) {
+  std::vector<uint8_t> bytes = ReadLogFile(path);
+  std::vector<ParsedLogRecord> records;
+  if (!ParseAllRecords(bytes, &records)) return Status::Internal();
+  return ReplayRecords(db, std::move(records));
+}
+
+}  // namespace mvstore

@@ -1,0 +1,47 @@
+// Crash recovery: rebuild database contents by replaying the redo log.
+//
+// The paper's engines log redo-only commit records ordered by end timestamp
+// (Section 3.2: "Commit ordering is determined by transaction end
+// timestamps, which are included in the log records, so multiple log streams
+// on different devices can be used"). Recovery therefore:
+//
+//   1. parses all commit records (possibly from several streams),
+//   2. sorts them by end timestamp,
+//   3. re-applies each operation against a freshly created database with
+//      the same table definitions.
+//
+// Updates are byte-range diffs keyed by the row's primary key; inserts carry
+// the full payload; deletes carry the key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "log/log_record.h"
+
+namespace mvstore {
+
+/// Parse every commit record in `bytes`. Returns false on a malformed tail
+/// (records parsed so far are kept).
+bool ParseAllRecords(const std::vector<uint8_t>& bytes,
+                     std::vector<ParsedLogRecord>* records);
+
+/// Read a log file produced by FileLogSink into memory. Empty result if the
+/// file cannot be read.
+std::vector<uint8_t> ReadLogFile(const std::string& path);
+
+/// Replay `records` (from one or more log streams) into `db`. Table IDs in
+/// the records must match tables already created in `db` with identical
+/// payload sizes. Records are applied in end-timestamp order.
+///
+/// Returns the first non-recoverable error, or OK. Individual NotFound /
+/// AlreadyExists conflicts are treated as corruption and reported as
+/// Internal.
+Status ReplayRecords(Database& db, std::vector<ParsedLogRecord> records);
+
+/// Convenience: ReadLogFile + ParseAllRecords + ReplayRecords.
+Status RecoverFromLogFile(Database& db, const std::string& path);
+
+}  // namespace mvstore

@@ -1,0 +1,90 @@
+#include "gc/garbage_collector.h"
+
+#include <chrono>
+
+namespace mvstore {
+
+void GarbageCollector::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      RunOnce();
+      std::this_thread::sleep_for(std::chrono::microseconds(interval_us_));
+    }
+  });
+}
+
+void GarbageCollector::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void GarbageCollector::Enqueue(Table* table, Version* version,
+                               Timestamp retire_after) {
+  uint32_t shard =
+      enqueue_cursor_.fetch_add(1, std::memory_order_relaxed) % kShards;
+  {
+    SpinLatchGuard guard(shards_[shard].latch);
+    shards_[shard].queue.push_back(Item{table, version, retire_after});
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GarbageCollector::EnqueueImmediate(Table* table, Version* version) {
+  Enqueue(table, version, 0);
+}
+
+uint32_t GarbageCollector::Drain(Shard& shard, Timestamp watermark,
+                                 uint32_t budget) {
+  // Collect reclaimable items under the latch; unlink/retire outside it.
+  std::vector<Item> ready;
+  {
+    SpinLatchGuard guard(shard.latch);
+    uint32_t scanned = 0;
+    // Items are roughly timestamp-ordered (enqueued at commit time), so a
+    // front-drain finds ready items first; stop at the first blocked item
+    // to keep the pass O(budget).
+    while (!shard.queue.empty() && ready.size() < budget &&
+           scanned < budget * 4) {
+      const Item& item = shard.queue.front();
+      if (item.retire_after >= watermark) break;
+      ready.push_back(item);
+      shard.queue.pop_front();
+      ++scanned;
+    }
+  }
+  for (const Item& item : ready) {
+    item.table->UnlinkFromAllIndexes(item.version);
+    epoch_.Retire(item.version, &Table::VersionDeleter);
+    stats_.Add(Stat::kVersionsCollected);
+  }
+  pending_.fetch_sub(ready.size(), std::memory_order_relaxed);
+  return static_cast<uint32_t>(ready.size());
+}
+
+uint32_t GarbageCollector::Cooperate(uint32_t budget) {
+  if (budget == 0) return 0;
+  if (pending_.load(std::memory_order_relaxed) == 0) return 0;
+  Timestamp now = now_fn_ != nullptr ? now_fn_(now_arg_) : kInfinity;
+  Timestamp watermark = CachedWatermark(now);
+  uint32_t shard =
+      drain_cursor_.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return Drain(shards_[shard], watermark, budget);
+}
+
+uint64_t GarbageCollector::RunOnce() {
+  Timestamp now = now_fn_ != nullptr ? now_fn_(now_arg_) : kInfinity;
+  Timestamp watermark = Watermark(now);
+  uint64_t total = 0;
+  for (auto& shard : shards_) {
+    uint32_t n;
+    do {
+      n = Drain(shard, watermark, 256);
+      total += n;
+    } while (n > 0);
+  }
+  return total;
+}
+
+}  // namespace mvstore

@@ -1,0 +1,127 @@
+// Cooperative garbage collection of obsolete versions (paper Section 2.3).
+//
+// A version can be discarded once it is visible to no transaction:
+//  * versions created by aborted transactions (Begin = infinity) -- garbage
+//    immediately;
+//  * old versions superseded by a committed update/delete at end timestamp E
+//    -- garbage once every live transaction's begin timestamp exceeds E
+//    (the watermark; every read time is >= the reader's begin timestamp).
+//
+// Reclamation = unlink from every index, then epoch-retire the memory (a
+// concurrent scan may still hold the pointer).
+//
+// "Collection is handled cooperatively by all threads": worker threads drain
+// a small budget at transaction boundaries; a background thread sweeps up
+// the rest.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <thread>
+
+#include "common/counters.h"
+#include "common/spin_latch.h"
+#include "common/timing.h"
+#include "common/types.h"
+#include "storage/table.h"
+#include "txn/txn_table.h"
+#include "util/epoch.h"
+
+namespace mvstore {
+
+class GarbageCollector {
+ public:
+  GarbageCollector(TxnTable& txn_table, EpochManager& epoch,
+                   StatsCollector& stats, uint32_t interval_us)
+      : txn_table_(txn_table),
+        epoch_(epoch),
+        stats_(stats),
+        interval_us_(interval_us) {}
+
+  ~GarbageCollector() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  /// Defer `version` until the watermark passes `retire_after` (the end
+  /// timestamp that superseded it).
+  void Enqueue(Table* table, Version* version, Timestamp retire_after);
+
+  /// `version` is garbage now (aborted creator). Still goes through
+  /// unlink + epoch retirement.
+  void EnqueueImmediate(Table* table, Version* version);
+
+  /// Worker-thread cooperation: reclaim up to `budget` ready versions.
+  /// Returns the number reclaimed.
+  uint32_t Cooperate(uint32_t budget);
+
+  /// Reclaim everything currently ready. For the background thread, tests
+  /// and shutdown.
+  uint64_t RunOnce();
+
+  /// Versions queued but not yet reclaimed (approximate).
+  uint64_t PendingCount() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Current GC watermark: versions that died before this timestamp are
+  /// unreachable by every present and future reader.
+  Timestamp Watermark(Timestamp now) { return txn_table_.MinActiveBeginTs(now); }
+
+  /// Watermark refreshed at most every ~200us. Computing the exact value
+  /// scans the whole transaction table; per-commit cooperative GC must not
+  /// pay that. A stale (smaller) watermark is always safe -- it only delays
+  /// reclamation.
+  Timestamp CachedWatermark(Timestamp now) {
+    uint64_t t = NowMicros();
+    uint64_t last = watermark_refreshed_us_.load(std::memory_order_relaxed);
+    if (t - last > 200 &&
+        watermark_refreshed_us_.compare_exchange_strong(
+            last, t, std::memory_order_relaxed)) {
+      cached_watermark_.store(Watermark(now), std::memory_order_release);
+    }
+    return cached_watermark_.load(std::memory_order_acquire);
+  }
+
+  /// Set the clock used for the watermark fallback (no active txns).
+  void SetNowSource(Timestamp (*now_fn)(void*), void* arg) {
+    now_fn_ = now_fn;
+    now_arg_ = arg;
+  }
+
+ private:
+  struct Item {
+    Table* table;
+    Version* version;
+    Timestamp retire_after;  // 0 = immediate
+  };
+
+  static constexpr uint32_t kShards = 16;
+
+  struct alignas(kCacheLineSize) Shard {
+    SpinLatch latch;
+    std::deque<Item> queue;
+  };
+
+  uint32_t Drain(Shard& shard, Timestamp watermark, uint32_t budget);
+
+  TxnTable& txn_table_;
+  EpochManager& epoch_;
+  StatsCollector& stats_;
+  const uint32_t interval_us_;
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint32_t> enqueue_cursor_{0};
+  std::atomic<uint32_t> drain_cursor_{0};
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<Timestamp> cached_watermark_{0};
+  std::atomic<uint64_t> watermark_refreshed_us_{0};
+
+  Timestamp (*now_fn_)(void*) = nullptr;
+  void* now_arg_ = nullptr;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace mvstore

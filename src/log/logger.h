@@ -1,0 +1,130 @@
+// Group-commit redo logger (paper Sections 2.4, 5).
+//
+// Committing transactions serialize their write sets into a shared buffer;
+// a background flusher hands full batches to a sink (file or null), so many
+// commits share one I/O (group commit). The paper's experiments run
+// *asynchronous* logging -- transactions do not wait for the flush -- so the
+// engine defaults to kAsync; kSync waits for the flush LSN (durable commit)
+// and kDisabled removes logging entirely.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "log/log_record.h"
+
+namespace mvstore {
+
+enum class LogMode : uint8_t {
+  kDisabled = 0,
+  kAsync,  // group commit, no waiting (paper's configuration)
+  kSync,   // wait for the batch containing the record to be flushed
+};
+
+/// Destination for flushed batches.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const uint8_t* data, size_t size) = 0;
+  virtual void Sync() {}
+};
+
+/// Counts bytes; used by benchmarks so logging exercises the full
+/// serialization + batching path without depending on disk bandwidth.
+class NullLogSink : public LogSink {
+ public:
+  void Write(const uint8_t* data, size_t size) override {
+    (void)data;
+    bytes_.fetch_add(size, std::memory_order_relaxed);
+  }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> bytes_{0};
+};
+
+/// Appends to a file; Sync() calls fflush (container-friendly durability
+/// stand-in; swap in fsync for real deployments).
+class FileLogSink : public LogSink {
+ public:
+  explicit FileLogSink(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "wb");
+  }
+  ~FileLogSink() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr; }
+  void Write(const uint8_t* data, size_t size) override {
+    if (file_ != nullptr) std::fwrite(data, 1, size, file_);
+  }
+  void Sync() override {
+    if (file_ != nullptr) std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Captures all bytes in memory; for tests that parse the log back.
+class MemoryLogSink : public LogSink {
+ public:
+  void Write(const uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+  std::vector<uint8_t> Contents() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return buffer_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<uint8_t> buffer_;
+};
+
+class Logger {
+ public:
+  /// Logger takes ownership of `sink` (must be non-null unless kDisabled).
+  Logger(LogMode mode, LogSink* sink);
+  ~Logger();
+
+  LogMode mode() const { return mode_; }
+
+  /// Append one serialized commit record. In kSync mode, blocks until the
+  /// record's batch has been flushed to the sink.
+  void Append(const std::vector<uint8_t>& record);
+
+  /// Flush everything buffered (shutdown/tests).
+  void FlushAll();
+
+  uint64_t records_appended() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void FlusherLoop();
+
+  const LogMode mode_;
+  std::unique_ptr<LogSink> sink_;
+
+  std::mutex mutex_;
+  std::condition_variable flusher_cv_;
+  std::condition_variable commit_cv_;
+  std::vector<uint8_t> buffer_;
+  uint64_t appended_lsn_ = 0;  // bytes appended
+  uint64_t flushed_lsn_ = 0;   // bytes flushed
+
+  std::atomic<uint64_t> records_{0};
+  std::atomic<bool> running_{false};
+  /// True while the flusher is parked; appenders skip the wakeup otherwise.
+  std::atomic<bool> flusher_idle_{false};
+  std::thread flusher_;
+};
+
+}  // namespace mvstore

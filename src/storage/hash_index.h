@@ -1,0 +1,193 @@
+// Lock-free hash index over versions (paper Section 2.1).
+//
+// * Lookups/scans traverse bucket chains without any locking; callers must
+//   hold an EpochGuard so unlinked versions cannot be freed under them.
+// * Inserts are a single CAS at the bucket head.
+// * Unlinks (garbage collection only) serialize per bucket on a spin bit in
+//   the bucket's metadata word; they never block readers or inserters.
+// * The bucket metadata word also carries the MV/L bucket LockCount
+//   (Section 4.1.2: "the current implementation stores the LockCount in the
+//   hash bucket").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/port.h"
+#include "storage/version.h"
+#include "util/bits.h"
+
+namespace mvstore {
+
+class HashIndex {
+ public:
+  /// Extracts the 64-bit index key from a version payload. Must be a
+  /// capture-free function (applied on every probe).
+  using KeyExtractor = uint64_t (*)(const void* payload);
+
+  struct Bucket {
+    /// Head of the version chain (linked via Version::Next(index_pos)).
+    std::atomic<Version*> head{nullptr};
+    /// bit 0: chain latch (GC unlink only); bits 32..63: bucket lock count.
+    std::atomic<uint64_t> meta{0};
+  };
+
+  /// `index_pos` is this index's slot in each version's next-pointer array.
+  HashIndex(uint32_t index_pos, uint64_t bucket_count_hint,
+            KeyExtractor extractor)
+      : index_pos_(index_pos),
+        extractor_(extractor),
+        bucket_count_(NextPowerOfTwo(bucket_count_hint < 16 ? 16
+                                                            : bucket_count_hint)),
+        mask_(bucket_count_ - 1),
+        buckets_(bucket_count_) {}
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  uint32_t index_pos() const { return index_pos_; }
+  uint64_t bucket_count() const { return bucket_count_; }
+
+  uint64_t KeyOf(const Version* v) const { return extractor_(v->Payload()); }
+  uint64_t KeyOfPayload(const void* payload) const { return extractor_(payload); }
+
+  Bucket& BucketFor(uint64_t key) { return buckets_[HashInt64(key) & mask_]; }
+  const Bucket& BucketFor(uint64_t key) const {
+    return buckets_[HashInt64(key) & mask_];
+  }
+  Bucket& BucketAt(uint64_t i) { return buckets_[i]; }
+
+  /// Lock-free insert at the head of v's bucket chain. The version's key
+  /// must already be in its payload.
+  void Insert(Version* v) {
+    Bucket& bucket = BucketFor(KeyOf(v));
+    Version* head = bucket.head.load(std::memory_order_acquire);
+    do {
+      v->Next(index_pos_).store(head, std::memory_order_relaxed);
+    } while (!bucket.head.compare_exchange_weak(head, v,
+                                                std::memory_order_release,
+                                                std::memory_order_acquire));
+  }
+
+  /// Unlink `v` from its bucket chain (GC only). Returns false if not found
+  /// (already unlinked). Readers may still hold pointers to v; the caller
+  /// must epoch-retire it, never free immediately.
+  bool Unlink(Version* v) {
+    Bucket& bucket = BucketFor(KeyOf(v));
+    LockChain(bucket);
+    bool found = UnlinkLocked(bucket, v);
+    UnlockChain(bucket);
+    return found;
+  }
+
+  /// Iterate every version in the bucket for `key`. `fn(Version*)` returns
+  /// true to continue, false to stop. Caller must hold an EpochGuard. The
+  /// caller is responsible for re-checking the key: chains contain every key
+  /// that hashes to the bucket.
+  template <typename Fn>
+  void ScanBucket(uint64_t key, Fn&& fn) {
+    Bucket& bucket = BucketFor(key);
+    for (Version* v = bucket.head.load(std::memory_order_acquire); v != nullptr;
+         v = v->Next(index_pos_).load(std::memory_order_acquire)) {
+      if (!fn(v)) return;
+    }
+  }
+
+  /// Iterate every version in every bucket (full-table scan, Section 2.1:
+  /// "To scan a table, one simply scans all buckets of any index").
+  template <typename Fn>
+  void ScanAll(Fn&& fn) {
+    for (uint64_t i = 0; i < bucket_count_; ++i) {
+      for (Version* v = buckets_[i].head.load(std::memory_order_acquire);
+           v != nullptr;
+           v = v->Next(index_pos_).load(std::memory_order_acquire)) {
+        if (!fn(v)) return;
+      }
+    }
+  }
+
+  /// --- bucket lock count (MV/L, Section 4.1.2) -----------------------------
+
+  static uint32_t BucketLockCount(const Bucket& bucket) {
+    return static_cast<uint32_t>(bucket.meta.load(std::memory_order_acquire) >>
+                                 32);
+  }
+  static void IncrBucketLockCount(Bucket& bucket) {
+    bucket.meta.fetch_add(uint64_t{1} << 32, std::memory_order_acq_rel);
+  }
+  static void DecrBucketLockCount(Bucket& bucket) {
+    bucket.meta.fetch_sub(uint64_t{1} << 32, std::memory_order_acq_rel);
+  }
+
+  /// Number of versions currently linked (racy; tests/stats only).
+  uint64_t CountEntries() const {
+    uint64_t n = 0;
+    for (uint64_t i = 0; i < bucket_count_; ++i) {
+      for (const Version* v = buckets_[i].head.load(std::memory_order_acquire);
+           v != nullptr;
+           v = v->Next(index_pos_).load(std::memory_order_acquire)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  static constexpr uint64_t kChainLatchBit = 1;
+
+  void LockChain(Bucket& bucket) {
+    while (true) {
+      uint64_t meta = bucket.meta.load(std::memory_order_relaxed);
+      if ((meta & kChainLatchBit) == 0 &&
+          bucket.meta.compare_exchange_weak(meta, meta | kChainLatchBit,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+        return;
+      }
+      CpuRelax();
+    }
+  }
+
+  void UnlockChain(Bucket& bucket) {
+    bucket.meta.fetch_and(~kChainLatchBit, std::memory_order_release);
+  }
+
+  bool UnlinkLocked(Bucket& bucket, Version* v) {
+    // Head removal must CAS: concurrent inserts also modify head.
+    while (true) {
+      Version* head = bucket.head.load(std::memory_order_acquire);
+      if (head == v) {
+        Version* next = v->Next(index_pos_).load(std::memory_order_acquire);
+        if (bucket.head.compare_exchange_strong(head, next,
+                                                std::memory_order_acq_rel)) {
+          return true;
+        }
+        continue;  // an insert won the race; v is now interior
+      }
+      // Interior removal: only unlinks mutate interior next pointers and we
+      // hold the chain latch, so a plain walk+store is safe.
+      Version* prev = head;
+      while (prev != nullptr) {
+        Version* cur = prev->Next(index_pos_).load(std::memory_order_acquire);
+        if (cur == v) {
+          prev->Next(index_pos_)
+              .store(v->Next(index_pos_).load(std::memory_order_acquire),
+                     std::memory_order_release);
+          return true;
+        }
+        if (cur == nullptr) return false;
+        prev = cur;
+      }
+      return false;
+    }
+  }
+
+  const uint32_t index_pos_;
+  const KeyExtractor extractor_;
+  const uint64_t bucket_count_;
+  const uint64_t mask_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,132 @@
+// Encodings of the 64-bit Begin and End words of a version header.
+//
+// Begin word (paper Section 2.3: "One bit in the field indicates the field's
+// current content"):
+//   bit 63 = 1 : bits 0..53 hold the ID of the transaction that created the
+//                version and has not yet finalized it.
+//   bit 63 = 0 : bits 0..62 hold the commit timestamp; kInfinity means the
+//                version is invisible garbage (aborted creator).
+//
+// End word. We use the paper's MV/L layout (Section 4.1.1) as the single
+// encoding for *both* MV schemes so that optimistic and pessimistic
+// transactions can coexist on the same data (Section 4.5):
+//   bit 63 = 0 : bits 0..62 hold the end timestamp (kInfinity = latest).
+//   bit 63 = 1 : lock word
+//       bit 62      : NoMoreReadLocks  (starvation guard)
+//       bits 54..61 : ReadLockCount    (up to 255 read lockers)
+//       bits 0..53  : WriteLock        (txn ID of writer, kNoWriter if none)
+//
+// A purely optimistic writer installs a lock word with ReadLockCount == 0 and
+// WriteLock == its ID; that is exactly "the End field contains a transaction
+// ID" from Section 2.3.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mvstore {
+
+/// Largest representable timestamp; used as "infinity" for the End field of
+/// latest versions and the Begin field of garbage versions.
+inline constexpr Timestamp kInfinity = (uint64_t{1} << 63) - 1;
+
+/// Largest legal transaction ID (54 bits, all-ones reserved for kNoWriter).
+inline constexpr TxnId kMaxTxnId = (uint64_t{1} << 54) - 2;
+
+namespace lockword {
+
+inline constexpr uint64_t kContentTypeBit = uint64_t{1} << 63;
+inline constexpr uint64_t kNoMoreReadLocksBit = uint64_t{1} << 62;
+inline constexpr int kReadCountShift = 54;
+inline constexpr uint64_t kReadCountMask = uint64_t{0xFF} << kReadCountShift;
+inline constexpr uint64_t kWriteLockMask = (uint64_t{1} << 54) - 1;
+/// WriteLock value meaning "no write locker" (paper: "or infinity").
+inline constexpr uint64_t kNoWriter = kWriteLockMask;
+inline constexpr uint32_t kMaxReadLocks = 255;
+
+/// True if the word holds a lock word (txn info) rather than a timestamp.
+inline bool IsLockWord(uint64_t word) { return (word & kContentTypeBit) != 0; }
+
+/// --- timestamp form -------------------------------------------------------
+
+inline uint64_t MakeTimestamp(Timestamp ts) {
+  assert(ts <= kInfinity);
+  return ts;
+}
+
+inline Timestamp TimestampOf(uint64_t word) {
+  assert(!IsLockWord(word));
+  return word;
+}
+
+/// --- lock-word form --------------------------------------------------------
+
+inline uint64_t MakeLockWord(uint32_t read_count, TxnId writer,
+                             bool no_more_read_locks = false) {
+  assert(read_count <= kMaxReadLocks);
+  assert(writer <= kNoWriter);
+  return kContentTypeBit |
+         (no_more_read_locks ? kNoMoreReadLocksBit : uint64_t{0}) |
+         (uint64_t{read_count} << kReadCountShift) | writer;
+}
+
+inline uint32_t ReadCountOf(uint64_t word) {
+  return static_cast<uint32_t>((word & kReadCountMask) >> kReadCountShift);
+}
+
+inline TxnId WriterOf(uint64_t word) { return word & kWriteLockMask; }
+
+inline bool HasWriter(uint64_t word) {
+  return IsLockWord(word) && WriterOf(word) != kNoWriter;
+}
+
+inline bool NoMoreReadLocks(uint64_t word) {
+  return (word & kNoMoreReadLocksBit) != 0;
+}
+
+/// Same lock word with the read count replaced.
+inline uint64_t WithReadCount(uint64_t word, uint32_t count) {
+  assert(IsLockWord(word));
+  assert(count <= kMaxReadLocks);
+  return (word & ~kReadCountMask) | (uint64_t{count} << kReadCountShift);
+}
+
+/// Same lock word with the writer replaced.
+inline uint64_t WithWriter(uint64_t word, TxnId writer) {
+  assert(IsLockWord(word));
+  return (word & ~kWriteLockMask) | writer;
+}
+
+}  // namespace lockword
+
+namespace beginword {
+
+inline constexpr uint64_t kTxnIdBit = uint64_t{1} << 63;
+
+inline uint64_t MakeTimestamp(Timestamp ts) {
+  assert(ts <= kInfinity);
+  return ts;
+}
+
+inline uint64_t MakeTxnId(TxnId id) {
+  assert(id <= kMaxTxnId);
+  return kTxnIdBit | id;
+}
+
+inline bool IsTxnId(uint64_t word) { return (word & kTxnIdBit) != 0; }
+
+inline TxnId TxnIdOf(uint64_t word) {
+  assert(IsTxnId(word));
+  return word & ~kTxnIdBit;
+}
+
+inline Timestamp TimestampOf(uint64_t word) {
+  assert(!IsTxnId(word));
+  return word;
+}
+
+}  // namespace beginword
+
+}  // namespace mvstore

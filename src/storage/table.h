@@ -1,0 +1,116 @@
+// Table: schema + version allocation + the set of hash indexes.
+//
+// The engine is schema-light by design: a row is a fixed-size payload (the
+// benchmarks and examples define POD row structs), and each index supplies a
+// capture-free extractor mapping payload -> 64-bit key. Records are only
+// reachable through indexes (Section 2.1); index 0 is the primary (unique)
+// index.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/hash_index.h"
+#include "storage/version.h"
+
+namespace mvstore {
+
+/// Definition of one hash index on a table.
+struct IndexDef {
+  HashIndex::KeyExtractor extractor = nullptr;
+  /// Buckets to allocate. The paper sizes tables "appropriately so there are
+  /// no collisions"; pass ~row count.
+  uint64_t bucket_count = 1024;
+  /// Unique indexes reject inserts whose key is already visible.
+  bool unique = false;
+};
+
+/// Definition of a table.
+struct TableDef {
+  std::string name;
+  uint32_t payload_size = 0;
+  std::vector<IndexDef> indexes;
+};
+
+class Table {
+ public:
+  Table(TableId id, TableDef def) : id_(id), def_(std::move(def)) {
+    indexes_.reserve(def_.indexes.size());
+    for (uint32_t i = 0; i < def_.indexes.size(); ++i) {
+      indexes_.push_back(std::make_unique<HashIndex>(
+          i, def_.indexes[i].bucket_count, def_.indexes[i].extractor));
+    }
+  }
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ~Table() = default;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return def_.name; }
+  uint32_t payload_size() const { return def_.payload_size; }
+  uint32_t num_indexes() const { return static_cast<uint32_t>(indexes_.size()); }
+  HashIndex& index(IndexId i) { return *indexes_[i]; }
+  const IndexDef& index_def(IndexId i) const { return def_.indexes[i]; }
+
+  /// Allocate a fresh, not-yet-visible version holding a copy of `payload`
+  /// (may be nullptr to leave the payload uninitialized).
+  Version* AllocateVersion(const void* payload) {
+    void* storage =
+        ::operator new(Version::AllocSize(num_indexes(), payload_size()));
+    return Version::Create(storage, num_indexes(), payload_size(), payload);
+  }
+
+  /// Immediately free a version that was never published to any index.
+  /// Published versions must instead be unlinked and epoch-retired.
+  static void FreeUnpublishedVersion(Version* v) { ::operator delete(v); }
+
+  /// Deleter suitable for EpochManager::Retire.
+  static void VersionDeleter(void* v) { ::operator delete(v); }
+
+  /// Insert `v` into every index of the table.
+  void InsertIntoAllIndexes(Version* v) {
+    for (auto& index : indexes_) index->Insert(v);
+  }
+
+  /// Unlink `v` from every index (garbage collection).
+  void UnlinkFromAllIndexes(Version* v) {
+    for (auto& index : indexes_) index->Unlink(v);
+  }
+
+ private:
+  const TableId id_;
+  const TableDef def_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+};
+
+/// Catalog: id -> table. Tables are created before workers start and live
+/// for the database lifetime, so lookups are unsynchronized.
+class Catalog {
+ public:
+  TableId CreateTable(TableDef def) {
+    TableId id = static_cast<TableId>(tables_.size());
+    tables_.push_back(std::make_unique<Table>(id, std::move(def)));
+    return id;
+  }
+
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+  uint32_t num_tables() const { return static_cast<uint32_t>(tables_.size()); }
+
+  Table* FindByName(const std::string& name) {
+    for (auto& t : tables_) {
+      if (t->name() == name) return t.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace mvstore

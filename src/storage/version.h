@@ -1,0 +1,91 @@
+// Version: the record format of the multiversion engine (paper Figure 1).
+//
+// A version is a single immutable payload plus a header:
+//
+//   | Begin (8B, atomic) | End (8B, atomic) | meta (8B) |
+//   | next-pointer per index (8B each, atomic) | payload bytes |
+//
+// Begin/End hold either timestamps or transaction info; see lock_word.h.
+// Records are reachable only through hash indexes: versions that hash to the
+// same bucket are chained through the per-index next pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "storage/lock_word.h"
+
+namespace mvstore {
+
+class Version {
+ public:
+  /// Bytes needed for a version with `num_indexes` chain pointers and a
+  /// payload of `payload_size` bytes.
+  static size_t AllocSize(uint32_t num_indexes, uint32_t payload_size) {
+    return sizeof(Version) + num_indexes * sizeof(std::atomic<Version*>) +
+           payload_size;
+  }
+
+  /// Construct a version in raw storage of AllocSize() bytes. Begin/End are
+  /// initialized to (infinity, infinity): invisible until the creator
+  /// installs its transaction ID / timestamps.
+  static Version* Create(void* storage, uint32_t num_indexes,
+                         uint32_t payload_size, const void* payload) {
+    Version* v = new (storage) Version(num_indexes, payload_size);
+    for (uint32_t i = 0; i < num_indexes; ++i) {
+      new (&v->NextArray()[i]) std::atomic<Version*>(nullptr);
+    }
+    if (payload != nullptr) {
+      std::memcpy(v->Payload(), payload, payload_size);
+    }
+    return v;
+  }
+
+  /// Chain pointer for index position `index_pos`.
+  std::atomic<Version*>& Next(uint32_t index_pos) {
+    return NextArray()[index_pos];
+  }
+  const std::atomic<Version*>& Next(uint32_t index_pos) const {
+    return NextArray()[index_pos];
+  }
+
+  void* Payload() {
+    return reinterpret_cast<char*>(this) + sizeof(Version) +
+           num_indexes_ * sizeof(std::atomic<Version*>);
+  }
+  const void* Payload() const {
+    return const_cast<Version*>(this)->Payload();
+  }
+
+  uint32_t payload_size() const { return payload_size_; }
+  uint32_t num_indexes() const { return num_indexes_; }
+
+  /// Begin word, i.e. creator txn ID or commit timestamp.
+  std::atomic<uint64_t> begin;
+  /// End word, i.e. timestamp or lock word (see lock_word.h).
+  std::atomic<uint64_t> end;
+
+ private:
+  Version(uint32_t num_indexes, uint32_t payload_size)
+      : begin(beginword::MakeTimestamp(kInfinity)),
+        end(lockword::MakeTimestamp(kInfinity)),
+        num_indexes_(num_indexes),
+        payload_size_(payload_size) {}
+
+  std::atomic<Version*>* NextArray() {
+    return reinterpret_cast<std::atomic<Version*>*>(
+        reinterpret_cast<char*>(this) + sizeof(Version));
+  }
+  const std::atomic<Version*>* NextArray() const {
+    return const_cast<Version*>(this)->NextArray();
+  }
+
+  uint32_t num_indexes_;
+  uint32_t payload_size_;
+};
+
+static_assert(sizeof(Version) == 24, "Version header should stay 24 bytes");
+
+}  // namespace mvstore

@@ -1,0 +1,136 @@
+// Partitioned lock table for the single-version ("1V") engine.
+//
+// The paper's 1V engine has no central lock manager: "we embed a lock table
+// in every index and assign each hash key to a lock in this partitioned
+// lock table. A lock covers all records with the same hash key which
+// automatically protects against phantoms. We use timeouts to detect and
+// break deadlocks." (Section 5.)
+//
+// Each lock is a reader-count plus a writer-owner word. Waits spin with
+// exponential backoff and a deadline; a timed-out acquisition aborts the
+// transaction (probable deadlock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/port.h"
+#include "common/timing.h"
+#include "common/types.h"
+#include "util/bits.h"
+
+namespace mvstore {
+
+/// One shared/exclusive lock. Readers increment `readers`; a writer owns
+/// the lock by storing its transaction ID in `writer`. A writer waits for
+/// readers to drain; readers wait for the writer to leave.
+struct alignas(kCacheLineSize) KeyLock {
+  std::atomic<uint64_t> writer{0};
+  std::atomic<uint32_t> readers{0};
+};
+
+class SVLockTable {
+ public:
+  explicit SVLockTable(uint64_t partition_hint)
+      : size_(NextPowerOfTwo(partition_hint < 64 ? 64 : partition_hint)),
+        mask_(size_ - 1),
+        locks_(size_) {}
+
+  KeyLock* LockFor(uint64_t key) { return &locks_[HashInt64(key) & mask_]; }
+
+  uint64_t size() const { return size_; }
+
+  /// Acquire in shared mode; `self` already holding the write lock succeeds
+  /// immediately (lock conversion is implicit: X covers S).
+  /// Returns false on timeout.
+  static bool AcquireShared(KeyLock* lock, TxnId self, uint64_t timeout_us) {
+    Backoff backoff;
+    uint64_t deadline = 0;
+    while (true) {
+      uint64_t w = lock->writer.load(std::memory_order_acquire);
+      if (w == 0 || w == self) {
+        if (w == self) return true;  // X implies S
+        lock->readers.fetch_add(1, std::memory_order_acq_rel);
+        uint64_t w2 = lock->writer.load(std::memory_order_seq_cst);
+        if (w2 == 0 || w2 == self) return true;
+        lock->readers.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (TimedOut(&deadline, timeout_us)) return false;
+      backoff.Pause();
+    }
+  }
+
+  static void ReleaseShared(KeyLock* lock) {
+    lock->readers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Acquire in exclusive mode. `held_shared` indicates the caller holds one
+  /// shared slot that should be converted (upgrade). On timeout the shared
+  /// slot is *not* restored -- the caller aborts anyway. Returns false on
+  /// timeout.
+  static bool AcquireExclusive(KeyLock* lock, TxnId self, bool held_shared,
+                               uint64_t timeout_us) {
+    if (held_shared) lock->readers.fetch_sub(1, std::memory_order_acq_rel);
+    Backoff backoff;
+    uint64_t deadline = 0;
+    // Step 1: become the writer.
+    while (true) {
+      uint64_t expected = 0;
+      if (lock->writer.compare_exchange_weak(expected, self,
+                                             std::memory_order_acq_rel)) {
+        break;
+      }
+      if (expected == self) break;  // reentrant
+      if (TimedOut(&deadline, timeout_us)) return false;
+      backoff.Pause();
+    }
+    // Step 2: wait out the remaining readers.
+    while (lock->readers.load(std::memory_order_acquire) != 0) {
+      if (TimedOut(&deadline, timeout_us)) {
+        lock->writer.store(0, std::memory_order_release);
+        return false;
+      }
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  static void ReleaseExclusive(KeyLock* lock) {
+    lock->writer.store(0, std::memory_order_release);
+  }
+
+ private:
+  /// Spin-then-yield backoff for lock waits.
+  class Backoff {
+   public:
+    void Pause() {
+      if (++spins_ % 256 == 0) {
+        std::this_thread::yield();
+      } else {
+        CpuRelax();
+      }
+    }
+
+   private:
+    uint32_t spins_ = 0;
+  };
+
+  /// Lazily arms the deadline on first call (avoids a clock read on the
+  /// uncontended path), then reports expiry.
+  static bool TimedOut(uint64_t* deadline, uint64_t timeout_us) {
+    uint64_t now = NowMicros();
+    if (*deadline == 0) {
+      *deadline = now + timeout_us;
+      return false;
+    }
+    return now >= *deadline;
+  }
+
+  const uint64_t size_;
+  const uint64_t mask_;
+  std::vector<KeyLock> locks_;
+};
+
+}  // namespace mvstore

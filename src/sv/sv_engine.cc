@@ -1,0 +1,354 @@
+#include "sv/sv_engine.h"
+
+#include <cstring>
+
+#include "log/log_record.h"
+
+namespace mvstore {
+
+SVEngine::SVEngine(SVEngineOptions options) : options_(options) {
+  LogSink* sink = nullptr;
+  if (options_.log_mode != LogMode::kDisabled) {
+    sink = options_.log_path.empty()
+               ? static_cast<LogSink*>(new NullLogSink())
+               : static_cast<LogSink*>(new FileLogSink(options_.log_path));
+  }
+  logger_ = std::make_unique<Logger>(options_.log_mode, sink);
+}
+
+SVEngine::~SVEngine() {
+  epoch_.DrainAll();
+  for (uint32_t tid = 0; tid < catalog_.num_tables(); ++tid) {
+    Table& table = catalog_.table(tid);
+    if (table.num_indexes() == 0) continue;
+    std::vector<Version*> rows;
+    table.index(0).ScanAll([&](Version* v) {
+      rows.push_back(v);
+      return true;
+    });
+    for (Version* v : rows) Table::FreeUnpublishedVersion(v);
+  }
+}
+
+TableId SVEngine::CreateTable(TableDef def) {
+  TableId id = catalog_.CreateTable(std::move(def));
+  Table& table = catalog_.table(id);
+  lock_table_base_.push_back(static_cast<uint32_t>(lock_tables_.size()));
+  for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    // One lock per hash key: size the lock table like the index.
+    lock_tables_.push_back(
+        std::make_unique<SVLockTable>(table.index(i).bucket_count()));
+  }
+  return id;
+}
+
+SVTransaction* SVEngine::Begin(IsolationLevel isolation, bool read_only) {
+  (void)read_only;
+  // Snapshot has no meaning single-versioned; strengthen to Repeatable Read.
+  if (isolation == IsolationLevel::kSnapshot) {
+    isolation = IsolationLevel::kRepeatableRead;
+  }
+  return new SVTransaction(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
+                           isolation);
+}
+
+Status SVEngine::AcquireLock(SVTransaction* txn, SVLockTable& locks,
+                             uint64_t key, bool exclusive,
+                             SVTransaction::LockEntry** entry_out) {
+  KeyLock* lock = locks.LockFor(key);
+  SVTransaction::LockEntry* held = txn->FindLock(lock);
+  if (held != nullptr) {
+    if (held->exclusive || !exclusive) {
+      if (entry_out != nullptr) *entry_out = held;
+      return Status::OK();
+    }
+    // Upgrade S -> X.
+    stats_.Add(Stat::kLockWaits);
+    if (!SVLockTable::AcquireExclusive(lock, txn->id, /*held_shared=*/true,
+                                       options_.lock_timeout_us)) {
+      // Our shared slot was consumed by the failed upgrade; drop the entry
+      // so release doesn't double-release.
+      *held = txn->locks.back();
+      txn->locks.pop_back();
+      return Status::Aborted(AbortReason::kLockTimeout);
+    }
+    held->exclusive = true;
+    if (entry_out != nullptr) *entry_out = held;
+    return Status::OK();
+  }
+  bool ok = exclusive
+                ? SVLockTable::AcquireExclusive(lock, txn->id, false,
+                                                options_.lock_timeout_us)
+                : SVLockTable::AcquireShared(lock, txn->id,
+                                             options_.lock_timeout_us);
+  if (!ok) return Status::Aborted(AbortReason::kLockTimeout);
+  txn->locks.push_back(SVTransaction::LockEntry{lock, exclusive});
+  if (entry_out != nullptr) *entry_out = &txn->locks.back();
+  return Status::OK();
+}
+
+Version* SVEngine::FindRow(HashIndex& index, uint64_t key,
+                           const std::function<bool(const void*)>& residual) {
+  Version* found = nullptr;
+  index.ScanBucket(key, [&](Version* v) {
+    if (index.KeyOf(v) != key) return true;
+    if (residual && !residual(v->Payload())) return true;
+    found = v;
+    return false;
+  });
+  return found;
+}
+
+Status SVEngine::Read(SVTransaction* txn, TableId table_id, IndexId index_id,
+                      uint64_t key, void* out) {
+  Table& table = catalog_.table(table_id);
+  bool found = false;
+  Status s = Scan(txn, table_id, index_id, key, nullptr,
+                  [&](const void* payload) {
+                    std::memcpy(out, payload, table.payload_size());
+                    found = true;
+                    return false;
+                  });
+  if (!s.ok()) return s;
+  return found ? Status::OK() : Status::NotFound();
+}
+
+Status SVEngine::Scan(SVTransaction* txn, TableId table_id, IndexId index_id,
+                      uint64_t key,
+                      const std::function<bool(const void*)>& residual,
+                      const std::function<bool(const void*)>& consumer) {
+  Table& table = catalog_.table(table_id);
+  HashIndex& index = table.index(index_id);
+  SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
+
+  const bool short_lock = txn->isolation == IsolationLevel::kReadCommitted;
+  KeyLock* lock = locks.LockFor(key);
+  SVTransaction::LockEntry* held = txn->FindLock(lock);
+  bool release_after = false;
+  if (held == nullptr) {
+    if (!SVLockTable::AcquireShared(lock, txn->id, options_.lock_timeout_us)) {
+      return DoAbort(txn, AbortReason::kLockTimeout);
+    }
+    if (short_lock) {
+      release_after = true;  // cursor stability: release when the read ends
+    } else {
+      txn->locks.push_back(SVTransaction::LockEntry{lock, false});
+    }
+  }
+
+  {
+    EpochGuard guard(epoch_);
+    index.ScanBucket(key, [&](Version* v) {
+      if (index.KeyOf(v) != key) return true;
+      if (residual && !residual(v->Payload())) return true;
+      return consumer(v->Payload());
+    });
+  }
+
+  if (release_after) SVLockTable::ReleaseShared(lock);
+  return Status::OK();
+}
+
+Status SVEngine::ScanTable(SVTransaction* txn, TableId table_id,
+                           const std::function<bool(const void*)>& consumer) {
+  Table& table = catalog_.table(table_id);
+  HashIndex& index = table.index(0);
+  SVLockTable& locks = *lock_tables_[lock_table_base_[table_id]];
+  EpochGuard guard(epoch_);
+  Status result = Status::OK();
+  index.ScanAll([&](Version* v) {
+    uint64_t key = index.KeyOf(v);
+    KeyLock* lock = locks.LockFor(key);
+    SVTransaction::LockEntry* held = txn->FindLock(lock);
+    if (held == nullptr) {
+      if (!SVLockTable::AcquireShared(lock, txn->id,
+                                      options_.lock_timeout_us)) {
+        result = Status::Aborted(AbortReason::kLockTimeout);
+        return false;
+      }
+    }
+    bool keep_going = consumer(v->Payload());
+    if (held == nullptr) SVLockTable::ReleaseShared(lock);
+    return keep_going;
+  });
+  if (result.IsAborted()) return DoAbort(txn, result.abort_reason());
+  return result;
+}
+
+Status SVEngine::Insert(SVTransaction* txn, TableId table_id,
+                        const void* payload) {
+  Table& table = catalog_.table(table_id);
+  HashIndex& primary = table.index(0);
+  SVLockTable& primary_locks = *lock_tables_[lock_table_base_[table_id]];
+  const uint64_t key = primary.KeyOfPayload(payload);
+
+  Status s = AcquireLock(txn, primary_locks, key, /*exclusive=*/true, nullptr);
+  if (!s.ok()) return DoAbort(txn, s.abort_reason());
+
+  EpochGuard guard(epoch_);
+  if (table.index_def(0).unique && FindRow(primary, key, nullptr) != nullptr) {
+    return Status::AlreadyExists();  // lock stays held (2PL)
+  }
+  Version* row = table.AllocateVersion(payload);
+  row->begin.store(beginword::MakeTimestamp(0), std::memory_order_relaxed);
+  // Lock the secondary keys too before publishing.
+  for (uint32_t i = 1; i < table.num_indexes(); ++i) {
+    uint64_t k = table.index(i).KeyOfPayload(payload);
+    Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
+                            k, /*exclusive=*/true, nullptr);
+    if (!s2.ok()) {
+      Table::FreeUnpublishedVersion(row);
+      return DoAbort(txn, s2.abort_reason());
+    }
+  }
+  table.InsertIntoAllIndexes(row);
+  txn->undo.push_back(
+      SVTransaction::UndoEntry{SVTransaction::UndoOp::kInsert, &table, row, {}});
+  return Status::OK();
+}
+
+Status SVEngine::Update(SVTransaction* txn, TableId table_id, IndexId index_id,
+                        uint64_t key, const std::function<void(void*)>& mutator) {
+  Table& table = catalog_.table(table_id);
+  HashIndex& index = table.index(index_id);
+  SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
+
+  Status s = AcquireLock(txn, locks, key, /*exclusive=*/true, nullptr);
+  if (!s.ok()) return DoAbort(txn, s.abort_reason());
+
+  EpochGuard guard(epoch_);
+  Version* row = FindRow(index, key, nullptr);
+  if (row == nullptr) return Status::NotFound();
+
+  // If updating through a secondary index, also X-lock the primary key so
+  // writers serialize regardless of access path.
+  if (index_id != 0) {
+    uint64_t pk = table.index(0).KeyOf(row);
+    Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id]], pk,
+                            /*exclusive=*/true, nullptr);
+    if (!s2.ok()) return DoAbort(txn, s2.abort_reason());
+  }
+
+  SVTransaction::UndoEntry entry;
+  entry.op = SVTransaction::UndoOp::kUpdate;
+  entry.table = &table;
+  entry.row = row;
+  entry.before.resize(table.payload_size());
+  std::memcpy(entry.before.data(), row->Payload(), table.payload_size());
+  txn->undo.push_back(std::move(entry));
+
+  mutator(row->Payload());  // in place, under the X lock
+  return Status::OK();
+}
+
+Status SVEngine::Delete(SVTransaction* txn, TableId table_id, IndexId index_id,
+                        uint64_t key) {
+  Table& table = catalog_.table(table_id);
+  HashIndex& index = table.index(index_id);
+  SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
+
+  Status s = AcquireLock(txn, locks, key, /*exclusive=*/true, nullptr);
+  if (!s.ok()) return DoAbort(txn, s.abort_reason());
+
+  EpochGuard guard(epoch_);
+  Version* row = FindRow(index, key, nullptr);
+  if (row == nullptr) return Status::NotFound();
+
+  // X-lock every index key of the row, then unlink everywhere.
+  for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    if (i == index_id) continue;
+    uint64_t k = table.index(i).KeyOf(row);
+    Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
+                            k, /*exclusive=*/true, nullptr);
+    if (!s2.ok()) return DoAbort(txn, s2.abort_reason());
+  }
+  table.UnlinkFromAllIndexes(row);
+  txn->undo.push_back(
+      SVTransaction::UndoEntry{SVTransaction::UndoOp::kDelete, &table, row, {}});
+  return Status::OK();
+}
+
+void SVEngine::ReleaseAllLocks(SVTransaction* txn) {
+  for (const auto& e : txn->locks) {
+    if (e.exclusive) {
+      SVLockTable::ReleaseExclusive(e.lock);
+    } else {
+      SVLockTable::ReleaseShared(e.lock);
+    }
+  }
+  txn->locks.clear();
+}
+
+void SVEngine::WriteLog(SVTransaction* txn) {
+  if (logger_->mode() == LogMode::kDisabled || txn->undo.empty()) return;
+  thread_local std::vector<uint8_t> buffer;
+  buffer.clear();
+  LogRecordBuilder builder(buffer);
+  builder.BeginRecord(commit_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                      txn->id);
+  for (const auto& u : txn->undo) {
+    switch (u.op) {
+      case SVTransaction::UndoOp::kInsert:
+        builder.AddInsert(u.table->id(), u.row->Payload(),
+                          u.table->payload_size());
+        break;
+      case SVTransaction::UndoOp::kUpdate:
+        builder.AddUpdate(u.table->id(), u.table->index(0).KeyOf(u.row),
+                          u.before.data(), u.row->Payload(),
+                          u.table->payload_size());
+        break;
+      case SVTransaction::UndoOp::kDelete:
+        builder.AddDelete(u.table->id(), u.table->index(0).KeyOf(u.row));
+        break;
+    }
+  }
+  builder.EndRecord();
+  logger_->Append(buffer);
+}
+
+Status SVEngine::Commit(SVTransaction* txn) {
+  WriteLog(txn);
+  // Deleted rows become unreachable only now; concurrent scans of other keys
+  // may still traverse them, so retire through the epoch manager.
+  for (const auto& u : txn->undo) {
+    if (u.op == SVTransaction::UndoOp::kDelete) {
+      epoch_.Retire(u.row, &Table::VersionDeleter);
+    }
+  }
+  ReleaseAllLocks(txn);
+  stats_.Add(Stat::kTxnCommitted);
+  delete txn;
+  return Status::OK();
+}
+
+Status SVEngine::DoAbort(SVTransaction* txn, AbortReason reason) {
+  // Undo in reverse order under the still-held locks.
+  for (auto it = txn->undo.rbegin(); it != txn->undo.rend(); ++it) {
+    switch (it->op) {
+      case SVTransaction::UndoOp::kInsert:
+        it->table->UnlinkFromAllIndexes(it->row);
+        epoch_.Retire(it->row, &Table::VersionDeleter);
+        break;
+      case SVTransaction::UndoOp::kUpdate:
+        std::memcpy(it->row->Payload(), it->before.data(),
+                    it->table->payload_size());
+        break;
+      case SVTransaction::UndoOp::kDelete:
+        it->table->InsertIntoAllIndexes(it->row);
+        break;
+    }
+  }
+  ReleaseAllLocks(txn);
+  stats_.Add(Stat::kTxnAborted);
+  if (reason == AbortReason::kLockTimeout || reason == AbortReason::kDeadlock) {
+    stats_.Add(Stat::kAbortDeadlock);
+  }
+  delete txn;
+  return Status::Aborted(reason);
+}
+
+void SVEngine::Abort(SVTransaction* txn) {
+  DoAbort(txn, AbortReason::kUserRequested);
+}
+
+}  // namespace mvstore

@@ -1,0 +1,147 @@
+// Single-version locking engine ("1V", paper Section 5).
+//
+// Rows are stored single-versioned in the same lock-free hash indexes as the
+// MV engine (the Version header's Begin/End words are unused). Updates are
+// applied in place under an exclusive key lock; aborts restore before-images
+// from an undo set (strict two-phase locking).
+//
+// Isolation levels:
+//  * Read Committed  - short shared locks (cursor stability): acquire,
+//    read, release.
+//  * Repeatable Read / Serializable - shared locks held to commit. A key
+//    lock covers every record with that hash key, so equality scans get
+//    phantom protection for free; RR and SR behave identically (the paper's
+//    Table 3 shows near-identical 1V throughput for both).
+//  * Snapshot - not supported single-versioned; mapped to Repeatable Read.
+//
+// Deadlocks are broken by lock-wait timeouts.
+//
+// Constraint: in-place updates must not change any index key (concurrent
+// scans of other keys read key fields without a lock). Delete + insert to
+// change a key.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "log/logger.h"
+#include "storage/table.h"
+#include "sv/lock_table.h"
+#include "util/epoch.h"
+
+namespace mvstore {
+
+struct SVEngineOptions {
+  /// Lock-wait timeout; expiry aborts the waiter (probable deadlock).
+  uint64_t lock_timeout_us = 2000;
+  LogMode log_mode = LogMode::kAsync;
+  std::string log_path;
+};
+
+/// Single-version transaction handle.
+class SVTransaction {
+ public:
+  SVTransaction(TxnId id, IsolationLevel isolation)
+      : id(id), isolation(isolation) {}
+
+  const TxnId id;
+  const IsolationLevel isolation;
+
+  struct LockEntry {
+    KeyLock* lock;
+    bool exclusive;
+  };
+
+  enum class UndoOp : uint8_t { kInsert, kUpdate, kDelete };
+
+  struct UndoEntry {
+    UndoOp op;
+    Table* table;
+    Version* row;
+    std::vector<uint8_t> before;  // update only
+  };
+
+  std::vector<LockEntry> locks;
+  std::vector<UndoEntry> undo;
+
+  /// Find this transaction's hold on `lock`, or nullptr.
+  LockEntry* FindLock(KeyLock* lock) {
+    for (auto& e : locks) {
+      if (e.lock == lock) return &e;
+    }
+    return nullptr;
+  }
+};
+
+class SVEngine {
+ public:
+  explicit SVEngine(SVEngineOptions options = {});
+  ~SVEngine();
+
+  SVEngine(const SVEngine&) = delete;
+  SVEngine& operator=(const SVEngine&) = delete;
+
+  TableId CreateTable(TableDef def);
+  Table& table(TableId id) { return catalog_.table(id); }
+
+  SVTransaction* Begin(IsolationLevel isolation, bool read_only = false);
+
+  Status Read(SVTransaction* txn, TableId table_id, IndexId index_id,
+              uint64_t key, void* out);
+  Status Scan(SVTransaction* txn, TableId table_id, IndexId index_id,
+              uint64_t key, const std::function<bool(const void*)>& residual,
+              const std::function<bool(const void*)>& consumer);
+  /// Visit every row of the table. Each row is read under a briefly-held
+  /// shared key lock (cursor stability), so payloads are never torn but the
+  /// scan as a whole is not a consistent snapshot (single-version storage
+  /// has no snapshots; see the MV engines for consistent reporting scans).
+  Status ScanTable(SVTransaction* txn, TableId table_id,
+                   const std::function<bool(const void*)>& consumer);
+
+  Status Insert(SVTransaction* txn, TableId table_id, const void* payload);
+  Status Update(SVTransaction* txn, TableId table_id, IndexId index_id,
+                uint64_t key, const std::function<void(void*)>& mutator);
+  Status Delete(SVTransaction* txn, TableId table_id, IndexId index_id,
+                uint64_t key);
+
+  Status Commit(SVTransaction* txn);
+  void Abort(SVTransaction* txn);
+
+  StatsCollector& stats() { return stats_; }
+  EpochManager& epoch() { return epoch_; }
+  Logger& logger() { return *logger_; }
+  const SVEngineOptions& options() const { return options_; }
+
+ private:
+  /// Acquire (or convert to) the requested mode on the key's lock,
+  /// registering it in the transaction's lock set. Short-lock reads under
+  /// Read Committed are handled by the caller.
+  Status AcquireLock(SVTransaction* txn, SVLockTable& locks, uint64_t key,
+                     bool exclusive, SVTransaction::LockEntry** entry_out);
+
+  /// Find the row for `key` in the index chain. Caller must hold the key
+  /// lock (any mode) and an epoch guard.
+  Version* FindRow(HashIndex& index, uint64_t key,
+                   const std::function<bool(const void*)>& residual);
+
+  void ReleaseAllLocks(SVTransaction* txn);
+  void WriteLog(SVTransaction* txn);
+  Status DoAbort(SVTransaction* txn, AbortReason reason);
+
+  SVEngineOptions options_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<SVLockTable>> lock_tables_;  // [table][index]
+  std::vector<uint32_t> lock_table_base_;  // table id -> first lock table
+  EpochManager epoch_;
+  StatsCollector stats_;
+  std::unique_ptr<Logger> logger_;
+  std::atomic<TxnId> next_txn_id_{1};
+  std::atomic<Timestamp> commit_clock_{0};
+};
+
+}  // namespace mvstore

@@ -1,0 +1,71 @@
+// Commit dependencies: register-and-report (paper Section 2.7).
+//
+// T1 acquires a commit dependency on T2 by incrementing its own
+// CommitDepCounter and adding its ID to T2's CommitDepSet. When T2 commits
+// it decrements each dependent's counter; if T2 aborts it sets their
+// AbortNow flags (cascading abort).
+#pragma once
+
+#include "txn/transaction.h"
+#include "txn/txn_table.h"
+
+namespace mvstore {
+
+/// Register a commit dependency of `dependent` on `provider`.
+///
+/// Handles the races against provider resolution: if the provider already
+/// committed there is nothing to wait for; if it already aborted the
+/// dependent must cascade. Returns true if the dependent may proceed
+/// (dependency registered or provider committed), false if the dependent
+/// must abort because the provider aborted.
+inline bool RegisterCommitDependency(Transaction* dependent,
+                                     Transaction* provider) {
+  // Count first so the provider's drain can never miss a registered-but-
+  // uncounted dependency.
+  dependent->commit_dep_counter.fetch_add(1, std::memory_order_acq_rel);
+  {
+    SpinLatchGuard guard(provider->dep_latch);
+    TxnState s = provider->state.load(std::memory_order_acquire);
+    if ((s == TxnState::kPreparing || s == TxnState::kActive) &&
+        !provider->deps_drained) {
+      provider->commit_dep_set.push_back(dependent->id);
+      return true;
+    }
+    // Provider already resolved; undo the provisional count.
+    dependent->commit_dep_counter.fetch_sub(1, std::memory_order_acq_rel);
+    if (s == TxnState::kCommitted || s == TxnState::kTerminated) {
+      // Terminated providers must have committed: an aborted provider's
+      // version words would have been reset, so the caller would not have
+      // found its ID. Treat as resolved-committed either way: if it aborted,
+      // the version re-read in visibility code yields the right answer.
+      return true;
+    }
+    return false;  // provider aborted -> cascade
+  }
+}
+
+/// Resolve (drain) the dependents of `provider` after it reached
+/// Committed or Aborted state. `committed` selects report flavor.
+inline void ResolveCommitDependencies(Transaction* provider, bool committed,
+                                      TxnTable& txn_table) {
+  std::vector<TxnId> dependents;
+  {
+    SpinLatchGuard guard(provider->dep_latch);
+    provider->deps_drained = true;
+    dependents.swap(provider->commit_dep_set);
+  }
+  for (TxnId dep_id : dependents) {
+    // "If a dependent transaction is not found, this means that it has
+    // already aborted" -- nothing to do.
+    Transaction* dep = txn_table.Find(dep_id);
+    if (dep == nullptr || dep->id != dep_id) continue;
+    if (committed) {
+      dep->commit_dep_counter.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      dep->abort_now.store(true, std::memory_order_release);
+    }
+    dep->NotifyEvent();
+  }
+}
+
+}  // namespace mvstore

@@ -1,0 +1,99 @@
+// Transaction table: live transactions by ID.
+//
+// Visibility checks look up transaction IDs found in version Begin/End words
+// (Sections 2.5-2.6: "checking another transaction's state and end
+// timestamp"); "not found" means the transaction terminated and finalized
+// its timestamps, which callers handle by re-reading the version word.
+//
+// Lookups return raw pointers; callers must hold an EpochGuard, because a
+// terminated transaction's object is epoch-retired after removal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/port.h"
+#include "common/spin_latch.h"
+#include "txn/transaction.h"
+#include "util/bits.h"
+
+namespace mvstore {
+
+class TxnTable {
+ public:
+  static constexpr uint32_t kPartitions = 64;
+
+  void Insert(Transaction* txn) {
+    Partition& p = PartitionFor(txn->id);
+    SpinLatchGuard guard(p.latch);
+    p.map.emplace(txn->id, txn);
+  }
+
+  /// Remove after postprocessing. The caller epoch-retires the object.
+  void Remove(TxnId id) {
+    Partition& p = PartitionFor(id);
+    SpinLatchGuard guard(p.latch);
+    p.map.erase(id);
+  }
+
+  /// nullptr if terminated/not found. Caller must hold an EpochGuard.
+  Transaction* Find(TxnId id) {
+    Partition& p = PartitionFor(id);
+    SpinLatchGuard guard(p.latch);
+    auto it = p.map.find(id);
+    return it == p.map.end() ? nullptr : it->second;
+  }
+
+  /// Snapshot of all live transactions. Used by the deadlock detector and
+  /// the GC watermark; pointers are valid under the caller's EpochGuard.
+  std::vector<Transaction*> Snapshot() {
+    std::vector<Transaction*> out;
+    for (auto& p : partitions_) {
+      SpinLatchGuard guard(p.latch);
+      for (auto& [id, txn] : p.map) out.push_back(txn);
+    }
+    return out;
+  }
+
+  /// Minimum begin timestamp over live transactions, or `fallback` if none.
+  /// Every version with end timestamp below this can never be seen again
+  /// (GC watermark, Section 2.3). A transaction published with begin_ts
+  /// still 0 (the Begin() window) pins the watermark at 0: nothing may be
+  /// reclaimed until its timestamp is known.
+  Timestamp MinActiveBeginTs(Timestamp fallback) {
+    Timestamp min_ts = fallback;
+    for (auto& p : partitions_) {
+      SpinLatchGuard guard(p.latch);
+      for (auto& [id, txn] : p.map) {
+        Timestamp b = txn->begin_ts.load(std::memory_order_acquire);
+        if (b < min_ts) min_ts = b;
+      }
+    }
+    return min_ts;
+  }
+
+  uint64_t Size() const {
+    uint64_t n = 0;
+    for (auto& p : partitions_) {
+      SpinLatchGuard guard(p.latch);
+      n += p.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Partition {
+    mutable SpinLatch latch;
+    std::unordered_map<TxnId, Transaction*> map;
+  };
+
+  Partition& PartitionFor(TxnId id) {
+    return partitions_[HashInt64(id) % kPartitions];
+  }
+
+  mutable std::array<Partition, kPartitions> partitions_;
+};
+
+}  // namespace mvstore

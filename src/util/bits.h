@@ -1,0 +1,27 @@
+// Small bit-manipulation helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace mvstore {
+
+/// Smallest power of two >= n (n >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t n) {
+  if (n <= 1) return 1;
+  return uint64_t{1} << (64 - __builtin_clzll(n - 1));
+}
+
+inline bool IsPowerOfTwo(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Finalizer from MurmurHash3: cheap, well-mixed 64-bit hash for integer
+/// keys. Used by hash indexes and lock-table partitioning.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace mvstore

@@ -1,0 +1,114 @@
+#include "util/epoch.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace mvstore {
+
+namespace {
+std::atomic<uint64_t> next_instance_id{1};
+}  // namespace
+
+EpochManager::EpochManager()
+    : instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+      slots_(kMaxThreads) {}
+
+EpochManager::~EpochManager() { DrainAll(); }
+
+uint32_t EpochManager::SlotIndex() {
+  // Each (thread, manager) pair needs its own slot. The cache is keyed by
+  // the manager's instance id (not its address: a new manager can be
+  // allocated where a destroyed one lived, and must not inherit its slot).
+  thread_local std::unordered_map<uint64_t, uint32_t> cache;
+  auto it = cache.find(instance_id_);
+  if (it != cache.end()) return it->second;
+  uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  assert(slot < kMaxThreads && "too many threads for EpochManager");
+  cache.emplace(instance_id_, slot);
+  return slot;
+}
+
+void EpochManager::Enter() {
+  ThreadSlot& slot = slots_[SlotIndex()];
+  uint32_t nesting = slot.nesting.load(std::memory_order_relaxed);
+  if (nesting == 0) {
+    // seq_cst so the epoch publication is ordered before subsequent loads of
+    // shared pointers; pairs with the fence in MinActiveEpoch readers.
+    slot.epoch.store(global_epoch_.load(std::memory_order_acquire),
+                     std::memory_order_seq_cst);
+  }
+  slot.nesting.store(nesting + 1, std::memory_order_relaxed);
+}
+
+void EpochManager::Exit() {
+  ThreadSlot& slot = slots_[SlotIndex()];
+  uint32_t nesting = slot.nesting.load(std::memory_order_relaxed);
+  assert(nesting > 0);
+  slot.nesting.store(nesting - 1, std::memory_order_relaxed);
+  if (nesting == 1) {
+    slot.epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
+  uint32_t used = next_slot_.load(std::memory_order_acquire);
+  if (used > kMaxThreads) used = kMaxThreads;
+  for (uint32_t i = 0; i < used; ++i) {
+    uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+  uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  {
+    SpinLatchGuard guard(retired_latch_);
+    retired_.push_back(Retired{object, deleter, epoch});
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (retire_ticker_.fetch_add(1, std::memory_order_relaxed) %
+          kAdvanceInterval ==
+      kAdvanceInterval - 1) {
+    TryAdvanceAndReclaim();
+  }
+}
+
+void EpochManager::TryAdvanceAndReclaim() {
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t min_active = MinActiveEpoch();
+
+  // Pull out everything freeable under the latch, free outside it.
+  std::vector<Retired> to_free;
+  {
+    SpinLatchGuard guard(retired_latch_);
+    size_t kept = 0;
+    for (size_t i = 0; i < retired_.size(); ++i) {
+      if (retired_[i].epoch < min_active) {
+        to_free.push_back(retired_[i]);
+      } else {
+        retired_[kept++] = retired_[i];
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (const Retired& r : to_free) r.deleter(r.object);
+  pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
+}
+
+void EpochManager::DrainAll() {
+  std::vector<Retired> to_free;
+  {
+    SpinLatchGuard guard(retired_latch_);
+    to_free.swap(retired_);
+  }
+  for (const Retired& r : to_free) r.deleter(r.object);
+  pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::PendingCount() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+}  // namespace mvstore

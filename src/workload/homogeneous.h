@@ -1,0 +1,101 @@
+// The paper's parameterized homogeneous workload (Section 5.1) and the
+// heterogeneous mixes built from it (Section 5.2).
+//
+// "The workload consists of a single transaction type that performs R reads
+// and W writes against a table of N records with a unique key. Each row is
+// 24 bytes, and reads and writes are uniformly and randomly scattered over
+// the N records."
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/database.h"
+
+namespace mvstore {
+namespace workload {
+
+/// 24-byte row, as in Section 5.1.
+struct Row24 {
+  uint64_t key;
+  uint64_t value;
+  uint64_t pad;
+};
+static_assert(sizeof(Row24) == 24);
+
+inline uint64_t Row24Key(const void* payload) {
+  return static_cast<const Row24*>(payload)->key;
+}
+
+/// Create and populate the N-row table. Buckets are sized ~N ("we size hash
+/// tables appropriately so there are no collisions").
+inline TableId CreateAndLoadRows(Database& db, uint64_t rows) {
+  TableDef def;
+  def.name = "rows";
+  def.payload_size = sizeof(Row24);
+  def.indexes.push_back(IndexDef{&Row24Key, rows, /*unique=*/true});
+  TableId table = db.CreateTable(def);
+  for (uint64_t k = 0; k < rows; ++k) {
+    Txn* txn = db.Begin(IsolationLevel::kReadCommitted);
+    Row24 row{k, k * 10, 0};
+    db.Insert(txn, table, &row);
+    db.Commit(txn);
+  }
+  return table;
+}
+
+/// One update transaction: R reads + W writes, uniform keys.
+/// Returns the commit status (aborts already rolled back).
+inline Status RunUpdateTxn(Database& db, TableId table, Random& rng,
+                           uint64_t rows, uint32_t reads, uint32_t writes,
+                           IsolationLevel isolation) {
+  Txn* txn = db.Begin(isolation);
+  Row24 row;
+  for (uint32_t i = 0; i < reads; ++i) {
+    Status s = db.Read(txn, table, 0, rng.Uniform(rows), &row);
+    if (s.IsAborted()) return s;
+  }
+  for (uint32_t i = 0; i < writes; ++i) {
+    Status s = db.Update(txn, table, 0, rng.Uniform(rows), [](void* p) {
+      static_cast<Row24*>(p)->value += 1;
+    });
+    if (s.IsAborted()) return s;
+  }
+  return db.Commit(txn);
+}
+
+/// One short read-only transaction: R reads, uniform keys (Section 5.2.1).
+inline Status RunReadOnlyTxn(Database& db, TableId table, Random& rng,
+                             uint64_t rows, uint32_t reads,
+                             IsolationLevel isolation) {
+  Txn* txn = db.Begin(isolation, /*read_only=*/true);
+  Row24 row;
+  for (uint32_t i = 0; i < reads; ++i) {
+    Status s = db.Read(txn, table, 0, rng.Uniform(rows), &row);
+    if (s.IsAborted()) return s;
+  }
+  return db.Commit(txn);
+}
+
+/// One long read-only transaction touching `touches` random rows
+/// (Section 5.2.2: serializable, transactionally consistent, reads 10% of
+/// the table). Returns (status, sum) -- the sum defeats dead-code
+/// elimination.
+inline Status RunLongReadTxn(Database& db, TableId table, Random& rng,
+                             uint64_t rows, uint64_t touches,
+                             uint64_t* checksum) {
+  Txn* txn = db.Begin(IsolationLevel::kSerializable, /*read_only=*/true);
+  Row24 row;
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < touches; ++i) {
+    Status s = db.Read(txn, table, 0, rng.Uniform(rows), &row);
+    if (s.IsAborted()) return s;
+    if (s.ok()) sum += row.value;
+  }
+  *checksum += sum;
+  return db.Commit(txn);
+}
+
+}  // namespace workload
+}  // namespace mvstore

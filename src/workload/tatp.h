@@ -1,0 +1,120 @@
+// TATP: Telecommunication Application Transaction Processing benchmark
+// (paper Section 5.3; spec at tatpbenchmark.sourceforge.net).
+//
+// Four tables, two hash indexes each; seven short transaction types mixed
+// 80% read / 16% update / 2% insert / 2% delete; non-uniform subscriber-id
+// generation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/database.h"
+
+namespace mvstore {
+namespace tatp {
+
+/// --- schema -----------------------------------------------------------------
+
+struct SubscriberRow {
+  uint64_t s_id;
+  uint64_t sub_nbr;      // numeric rendering of the 15-digit string
+  uint8_t bit[10];       // bit_1..bit_10
+  uint8_t hex[10];       // hex_1..hex_10
+  uint8_t byte2[10];     // byte2_1..byte2_10
+  uint16_t pad;
+  uint32_t msc_location;
+  uint32_t vlr_location;
+};
+
+struct AccessInfoRow {
+  uint64_t s_id;
+  uint8_t ai_type;  // 1..4
+  uint8_t data1;
+  uint8_t data2;
+  char data3[3];
+  char data4[5];
+  char pad[3];
+};
+
+struct SpecialFacilityRow {
+  uint64_t s_id;
+  uint8_t sf_type;  // 1..4
+  uint8_t is_active;
+  uint8_t error_cntrl;
+  uint8_t data_a;
+  char data_b[5];
+  char pad[7];
+};
+
+struct CallForwardingRow {
+  uint64_t s_id;
+  uint8_t sf_type;
+  uint8_t start_time;  // 0, 8, 16
+  uint8_t end_time;    // start_time + 1..8
+  char pad[5];
+  uint64_t numberx;
+};
+
+/// Composite keys (64-bit packing).
+inline uint64_t AccessInfoKey(uint64_t s_id, uint8_t ai_type) {
+  return s_id * 4 + (ai_type - 1);
+}
+inline uint64_t SpecialFacilityKey(uint64_t s_id, uint8_t sf_type) {
+  return s_id * 4 + (sf_type - 1);
+}
+inline uint64_t CallForwardingKey(uint64_t s_id, uint8_t sf_type,
+                                  uint8_t start_time) {
+  return (s_id * 4 + (sf_type - 1)) * 4 + start_time / 8;
+}
+/// Secondary key: all call-forwarding rows for (s_id, sf_type).
+inline uint64_t CallForwardingSfKey(uint64_t s_id, uint8_t sf_type) {
+  return s_id * 4 + (sf_type - 1);
+}
+
+/// The deployed TATP database handle.
+struct TatpDatabase {
+  TableId subscriber;
+  TableId access_info;
+  TableId special_facility;
+  TableId call_forwarding;
+  uint64_t subscribers;
+};
+
+/// Create tables + indexes and load `subscribers` subscribers with the
+/// spec's population rules (1-4 access-info rows, 1-4 special facilities,
+/// 0-3 call-forwarding rows each).
+TatpDatabase LoadTatp(Database& db, uint64_t subscribers, uint64_t seed = 42);
+
+/// Transaction types, with the spec's mix percentages.
+enum class TatpTxnType : uint8_t {
+  kGetSubscriberData = 0,   // 35%
+  kGetNewDestination,       // 10%
+  kGetAccessData,           // 35%
+  kUpdateSubscriberData,    // 2%
+  kUpdateLocation,          // 14%
+  kInsertCallForwarding,    // 2%
+  kDeleteCallForwarding,    // 2%
+};
+
+/// Pick a transaction type according to the mix.
+TatpTxnType PickTxnType(Random& rng);
+
+/// Non-uniform subscriber id: ((rand(0,A) | rand(1,N)) % N) + 1, with
+/// A = 2^ceil(log2(N))/2 - 1 (65535 at the spec's 1M scale).
+uint64_t NonUniformSid(Random& rng, uint64_t subscribers);
+
+/// Execute one transaction of the given type. Returns the commit status;
+/// kAborted means rolled back (caller retries or counts the abort).
+Status RunTatpTxn(Database& db, const TatpDatabase& tatp, Random& rng,
+                  TatpTxnType type,
+                  IsolationLevel isolation = IsolationLevel::kReadCommitted);
+
+/// Consistency check used by tests: every special facility belongs to an
+/// existing subscriber, every call-forwarding row to an existing special
+/// facility. Returns true if consistent.
+bool CheckConsistency(Database& db, const TatpDatabase& tatp);
+
+}  // namespace tatp
+}  // namespace mvstore

@@ -1,0 +1,161 @@
+// Garbage collection: watermark computation, deferred reclamation of
+// superseded versions, immediate reclamation of aborted versions, and
+// cooperative draining (paper Section 2.3).
+#include <gtest/gtest.h>
+
+#include "cc/mv_engine.h"
+
+namespace mvstore {
+namespace {
+
+struct Row {
+  uint64_t key;
+  uint64_t value;
+};
+uint64_t RowKey(const void* p) { return static_cast<const Row*>(p)->key; }
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() {
+    MVEngineOptions opts;
+    opts.log_mode = LogMode::kDisabled;
+    opts.gc_interval_us = 0;  // manual control: no background thread
+    opts.deadlock_interval_us = 0;
+    opts.cooperative_gc_budget = 0;  // disable inline draining too
+    engine_ = std::make_unique<MVEngine>(opts);
+    TableDef def;
+    def.name = "rows";
+    def.payload_size = sizeof(Row);
+    def.indexes.push_back(IndexDef{&RowKey, 256, true});
+    table_ = engine_->CreateTable(def);
+  }
+
+  void Put(uint64_t key, uint64_t value) {
+    Transaction* t = engine_->Begin(IsolationLevel::kReadCommitted, false);
+    Row row{key, value};
+    ASSERT_TRUE(engine_->Insert(t, table_, &row).ok());
+    ASSERT_TRUE(engine_->Commit(t).ok());
+  }
+
+  void UpdateRow(uint64_t key, uint64_t value) {
+    Transaction* t = engine_->Begin(IsolationLevel::kReadCommitted, false);
+    ASSERT_TRUE(engine_->Update(t, table_, 0, key, [value](void* p) {
+                     static_cast<Row*>(p)->value = value;
+                   }).ok());
+    ASSERT_TRUE(engine_->Commit(t).ok());
+  }
+
+  uint64_t ChainLength(uint64_t key) {
+    uint64_t n = 0;
+    engine_->table(table_).index(0).ScanBucket(key, [&](Version* v) {
+      if (engine_->table(table_).index(0).KeyOf(v) == key) ++n;
+      return true;
+    });
+    return n;
+  }
+
+  std::unique_ptr<MVEngine> engine_;
+  TableId table_ = 0;
+};
+
+TEST_F(GcTest, SupersededVersionsCollected) {
+  Put(1, 0);
+  for (uint64_t i = 1; i <= 10; ++i) UpdateRow(1, i);
+  EXPECT_EQ(ChainLength(1), 11u);  // original + 10 updates
+  EXPECT_EQ(engine_->gc().PendingCount(), 10u);
+
+  engine_->gc().RunOnce();  // no active txns: watermark passes everything
+  EXPECT_EQ(ChainLength(1), 1u);
+  EXPECT_EQ(engine_->gc().PendingCount(), 0u);
+  EXPECT_EQ(engine_->stats().Get(Stat::kVersionsCollected), 10u);
+
+  // The surviving version is the latest.
+  Transaction* t = engine_->Begin(IsolationLevel::kReadCommitted, false);
+  Row row{};
+  ASSERT_TRUE(engine_->Read(t, table_, 0, 1, &row).ok());
+  EXPECT_EQ(row.value, 10u);
+  ASSERT_TRUE(engine_->Commit(t).ok());
+}
+
+TEST_F(GcTest, ActiveSnapshotBlocksReclamation) {
+  Put(1, 0);
+  // An open snapshot transaction pins its begin time.
+  Transaction* pin = engine_->Begin(IsolationLevel::kSnapshot, false);
+  Row row{};
+  ASSERT_TRUE(engine_->Read(pin, table_, 0, 1, &row).ok());
+  EXPECT_EQ(row.value, 0u);
+
+  UpdateRow(1, 1);
+  UpdateRow(1, 2);
+  engine_->gc().RunOnce();
+  // The versions superseded after `pin` began must survive; only version 0's
+  // predecessors (none) could go. Chain: v0, v1, v2 all present.
+  EXPECT_EQ(ChainLength(1), 3u);
+
+  // The pinned snapshot still reads its version.
+  ASSERT_TRUE(engine_->Read(pin, table_, 0, 1, &row).ok());
+  EXPECT_EQ(row.value, 0u);
+  ASSERT_TRUE(engine_->Commit(pin).ok());
+
+  engine_->gc().RunOnce();
+  EXPECT_EQ(ChainLength(1), 1u);
+}
+
+TEST_F(GcTest, AbortedVersionsCollectedImmediately) {
+  Put(1, 0);
+  Transaction* t = engine_->Begin(IsolationLevel::kReadCommitted, false);
+  ASSERT_TRUE(engine_->Update(t, table_, 0, 1, [](void* p) {
+                   static_cast<Row*>(p)->value = 99;
+                 }).ok());
+  engine_->Abort(t);
+  EXPECT_EQ(ChainLength(1), 2u);  // aborted new version still linked
+
+  engine_->gc().RunOnce();
+  EXPECT_EQ(ChainLength(1), 1u);  // reclaimed without any watermark wait
+}
+
+TEST_F(GcTest, DeletedRowFullyReclaimed) {
+  Put(1, 0);
+  Transaction* t = engine_->Begin(IsolationLevel::kReadCommitted, false);
+  ASSERT_TRUE(engine_->Delete(t, table_, 0, 1).ok());
+  ASSERT_TRUE(engine_->Commit(t).ok());
+  engine_->gc().RunOnce();
+  EXPECT_EQ(ChainLength(1), 0u);
+}
+
+TEST_F(GcTest, CooperateDrainsWithBudget) {
+  Put(1, 0);
+  for (uint64_t i = 1; i <= 32; ++i) UpdateRow(1, i);
+  uint64_t before = engine_->gc().PendingCount();
+  EXPECT_EQ(before, 32u);
+  uint32_t drained = 0;
+  for (int i = 0; i < 64 && drained < 32; ++i) {
+    drained += engine_->gc().Cooperate(4);
+  }
+  EXPECT_EQ(drained, 32u);
+  EXPECT_EQ(ChainLength(1), 1u);
+}
+
+TEST_F(GcTest, WatermarkIsMinActiveBegin) {
+  Transaction* t1 = engine_->Begin(IsolationLevel::kSnapshot, false);
+  Timestamp b1 = t1->begin_ts.load();
+  Transaction* t2 = engine_->Begin(IsolationLevel::kSnapshot, false);
+  EXPECT_EQ(engine_->gc().Watermark(/*now=*/1 << 20), b1);
+  ASSERT_TRUE(engine_->Commit(t1).ok());
+  EXPECT_EQ(engine_->gc().Watermark(1 << 20), t2->begin_ts.load());
+  ASSERT_TRUE(engine_->Commit(t2).ok());
+  EXPECT_EQ(engine_->gc().Watermark(1 << 20), Timestamp{1} << 20);
+}
+
+TEST_F(GcTest, HeavyChurnEventuallyBounded) {
+  Put(1, 0);
+  for (int round = 0; round < 20; ++round) {
+    for (uint64_t i = 0; i < 16; ++i) UpdateRow(1, i);
+    engine_->gc().RunOnce();
+  }
+  EXPECT_EQ(ChainLength(1), 1u);
+  EXPECT_EQ(engine_->gc().PendingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mvstore

@@ -1,0 +1,175 @@
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace mvstore {
+namespace {
+
+struct KeyedRow {
+  uint64_t key;
+  uint64_t value;
+};
+
+uint64_t KeyOfRow(const void* p) { return static_cast<const KeyedRow*>(p)->key; }
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest() : table_(0, MakeDef()) {}
+
+  static TableDef MakeDef() {
+    TableDef def;
+    def.name = "t";
+    def.payload_size = sizeof(KeyedRow);
+    def.indexes.push_back(IndexDef{&KeyOfRow, 256, true});
+    return def;
+  }
+
+  Version* MakeVersion(uint64_t key, uint64_t value) {
+    KeyedRow row{key, value};
+    Version* v = table_.AllocateVersion(&row);
+    versions_.push_back(v);
+    return v;
+  }
+
+  ~HashIndexTest() override {
+    for (Version* v : versions_) Table::FreeUnpublishedVersion(v);
+  }
+
+  Table table_;
+  std::vector<Version*> versions_;
+};
+
+TEST_F(HashIndexTest, InsertAndScanByKey) {
+  HashIndex& index = table_.index(0);
+  index.Insert(MakeVersion(7, 70));
+  index.Insert(MakeVersion(8, 80));
+
+  int seen = 0;
+  index.ScanBucket(7, [&](Version* v) {
+    if (index.KeyOf(v) == 7) {
+      EXPECT_EQ(static_cast<const KeyedRow*>(v->Payload())->value, 70u);
+      ++seen;
+    }
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(HashIndexTest, MultipleVersionsSameKeyChained) {
+  HashIndex& index = table_.index(0);
+  for (int i = 0; i < 5; ++i) index.Insert(MakeVersion(42, i));
+  int seen = 0;
+  index.ScanBucket(42, [&](Version* v) {
+    if (index.KeyOf(v) == 42) ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(HashIndexTest, UnlinkHead) {
+  HashIndex& index = table_.index(0);
+  Version* a = MakeVersion(1, 1);
+  Version* b = MakeVersion(1, 2);
+  index.Insert(a);
+  index.Insert(b);  // b is now the head
+  EXPECT_TRUE(index.Unlink(b));
+  int seen = 0;
+  index.ScanBucket(1, [&](Version* v) {
+    EXPECT_EQ(v, a);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(HashIndexTest, UnlinkInterior) {
+  HashIndex& index = table_.index(0);
+  Version* a = MakeVersion(1, 1);
+  Version* b = MakeVersion(1, 2);
+  Version* c = MakeVersion(1, 3);
+  index.Insert(a);
+  index.Insert(b);
+  index.Insert(c);
+  EXPECT_TRUE(index.Unlink(b));
+  EXPECT_EQ(index.CountEntries(), 2u);
+  EXPECT_FALSE(index.Unlink(b));  // second unlink reports not-found
+}
+
+TEST_F(HashIndexTest, ScanAllSeesEverything) {
+  HashIndex& index = table_.index(0);
+  for (uint64_t k = 0; k < 100; ++k) index.Insert(MakeVersion(k, k));
+  uint64_t count = 0;
+  index.ScanAll([&](Version*) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST_F(HashIndexTest, BucketLockCount) {
+  HashIndex& index = table_.index(0);
+  auto& bucket = index.BucketFor(5);
+  EXPECT_EQ(HashIndex::BucketLockCount(bucket), 0u);
+  HashIndex::IncrBucketLockCount(bucket);
+  HashIndex::IncrBucketLockCount(bucket);
+  EXPECT_EQ(HashIndex::BucketLockCount(bucket), 2u);
+  HashIndex::DecrBucketLockCount(bucket);
+  EXPECT_EQ(HashIndex::BucketLockCount(bucket), 1u);
+  HashIndex::DecrBucketLockCount(bucket);
+  EXPECT_EQ(HashIndex::BucketLockCount(bucket), 0u);
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertsAllLand) {
+  HashIndex& index = table_.index(0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<Version*>> made(kThreads);
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        KeyedRow row{static_cast<uint64_t>(t * kPerThread + i), 0};
+        Version* v = table_.AllocateVersion(&row);
+        made[t].push_back(v);
+        index.Insert(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& list : made) {
+    std::lock_guard<std::mutex> guard(mu);
+    versions_.insert(versions_.end(), list.begin(), list.end());
+  }
+  EXPECT_EQ(index.CountEntries(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertAndUnlinkKeepsOthers) {
+  HashIndex& index = table_.index(0);
+  // Pre-load one bucket-colliding set, then unlink half while inserting more.
+  std::vector<Version*> stable, doomed;
+  for (int i = 0; i < 100; ++i) {
+    Version* v = MakeVersion(0, i);  // same key -> same bucket
+    index.Insert(v);
+    (i % 2 == 0 ? stable : doomed).push_back(v);
+  }
+  std::thread unlinker([&] {
+    for (Version* v : doomed) EXPECT_TRUE(index.Unlink(v));
+  });
+  std::thread inserter([&] {
+    for (int i = 0; i < 100; ++i) index.Insert(MakeVersion(0, 1000 + i));
+  });
+  unlinker.join();
+  inserter.join();
+  // All stable + new versions remain.
+  EXPECT_EQ(index.CountEntries(), 150u);
+}
+
+}  // namespace
+}  // namespace mvstore

@@ -1,0 +1,103 @@
+// Bit-level tests of the Begin/End word encodings (paper Sections 2.3,
+// 4.1.1). Every field boundary is exercised.
+#include "storage/lock_word.h"
+
+#include <gtest/gtest.h>
+
+namespace mvstore {
+namespace {
+
+TEST(BeginWordTest, TimestampRoundTrip) {
+  for (Timestamp ts : {Timestamp{0}, Timestamp{1}, Timestamp{123456789},
+                       kInfinity}) {
+    uint64_t w = beginword::MakeTimestamp(ts);
+    EXPECT_FALSE(beginword::IsTxnId(w));
+    EXPECT_EQ(beginword::TimestampOf(w), ts);
+  }
+}
+
+TEST(BeginWordTest, TxnIdRoundTrip) {
+  for (TxnId id : {TxnId{1}, TxnId{42}, kMaxTxnId}) {
+    uint64_t w = beginword::MakeTxnId(id);
+    EXPECT_TRUE(beginword::IsTxnId(w));
+    EXPECT_EQ(beginword::TxnIdOf(w), id);
+  }
+}
+
+TEST(BeginWordTest, TimestampAndTxnIdSpacesDisjoint) {
+  EXPECT_NE(beginword::MakeTimestamp(5), beginword::MakeTxnId(5));
+}
+
+TEST(LockWordTest, TimestampForm) {
+  uint64_t w = lockword::MakeTimestamp(kInfinity);
+  EXPECT_FALSE(lockword::IsLockWord(w));
+  EXPECT_EQ(lockword::TimestampOf(w), kInfinity);
+}
+
+TEST(LockWordTest, LockWordFields) {
+  uint64_t w = lockword::MakeLockWord(17, 999);
+  EXPECT_TRUE(lockword::IsLockWord(w));
+  EXPECT_EQ(lockword::ReadCountOf(w), 17u);
+  EXPECT_EQ(lockword::WriterOf(w), 999u);
+  EXPECT_FALSE(lockword::NoMoreReadLocks(w));
+  EXPECT_TRUE(lockword::HasWriter(w));
+}
+
+TEST(LockWordTest, NoWriterSentinel) {
+  uint64_t w = lockword::MakeLockWord(3, lockword::kNoWriter);
+  EXPECT_FALSE(lockword::HasWriter(w));
+  EXPECT_EQ(lockword::WriterOf(w), lockword::kNoWriter);
+}
+
+TEST(LockWordTest, NoMoreReadLocksFlag) {
+  uint64_t w = lockword::MakeLockWord(0, 7, /*no_more_read_locks=*/true);
+  EXPECT_TRUE(lockword::NoMoreReadLocks(w));
+  EXPECT_EQ(lockword::ReadCountOf(w), 0u);
+  EXPECT_EQ(lockword::WriterOf(w), 7u);
+}
+
+TEST(LockWordTest, MaxReadCount) {
+  uint64_t w = lockword::MakeLockWord(lockword::kMaxReadLocks, 1);
+  EXPECT_EQ(lockword::ReadCountOf(w), 255u);
+  EXPECT_EQ(lockword::WriterOf(w), 1u);
+}
+
+TEST(LockWordTest, MaxTxnIdFitsInWriterField) {
+  uint64_t w = lockword::MakeLockWord(255, kMaxTxnId, true);
+  EXPECT_EQ(lockword::WriterOf(w), kMaxTxnId);
+  EXPECT_EQ(lockword::ReadCountOf(w), 255u);
+  EXPECT_TRUE(lockword::NoMoreReadLocks(w));
+}
+
+TEST(LockWordTest, WithReadCountPreservesOtherFields) {
+  uint64_t w = lockword::MakeLockWord(5, 123, true);
+  uint64_t w2 = lockword::WithReadCount(w, 6);
+  EXPECT_EQ(lockword::ReadCountOf(w2), 6u);
+  EXPECT_EQ(lockword::WriterOf(w2), 123u);
+  EXPECT_TRUE(lockword::NoMoreReadLocks(w2));
+}
+
+TEST(LockWordTest, WithWriterPreservesOtherFields) {
+  uint64_t w = lockword::MakeLockWord(9, 123);
+  uint64_t w2 = lockword::WithWriter(w, lockword::kNoWriter);
+  EXPECT_EQ(lockword::ReadCountOf(w2), 9u);
+  EXPECT_FALSE(lockword::HasWriter(w2));
+}
+
+TEST(LockWordTest, FieldsDoNotOverlap) {
+  // Setting each field to its max must not bleed into the others.
+  uint64_t w = lockword::MakeLockWord(0, 0);
+  w = lockword::WithReadCount(w, 255);
+  EXPECT_EQ(lockword::WriterOf(w), 0u);
+  w = lockword::WithWriter(w, kMaxTxnId);
+  EXPECT_EQ(lockword::ReadCountOf(w), 255u);
+  EXPECT_FALSE(lockword::NoMoreReadLocks(w));
+}
+
+TEST(LockWordTest, InfinityIsLargestTimestamp) {
+  EXPECT_EQ(kInfinity, (uint64_t{1} << 63) - 1);
+  EXPECT_FALSE(lockword::IsLockWord(lockword::MakeTimestamp(kInfinity)));
+}
+
+}  // namespace
+}  // namespace mvstore

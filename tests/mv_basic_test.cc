@@ -1,0 +1,219 @@
+// Basic single-threaded behavior of the MV engine through the Database API:
+// CRUD, commit/abort semantics, version visibility across transactions.
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace mvstore {
+namespace {
+
+struct Row {
+  uint64_t key;
+  uint64_t value;
+};
+
+uint64_t RowKey(const void* p) { return static_cast<const Row*>(p)->key; }
+
+class MVBasicTest : public ::testing::TestWithParam<Scheme> {
+ protected:
+  MVBasicTest() {
+    DatabaseOptions opts;
+    opts.scheme = GetParam();
+    opts.log_mode = LogMode::kDisabled;
+    db_ = std::make_unique<Database>(opts);
+    TableDef def;
+    def.name = "rows";
+    def.payload_size = sizeof(Row);
+    def.indexes.push_back(IndexDef{&RowKey, 1024, true});
+    table_ = db_->CreateTable(def);
+  }
+
+  Status InsertRow(uint64_t key, uint64_t value) {
+    Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+    Row row{key, value};
+    Status s = db_->Insert(txn, table_, &row);
+    if (!s.ok()) {
+      if (!s.IsAborted()) db_->Abort(txn);
+      return s;
+    }
+    return db_->Commit(txn);
+  }
+
+  Status ReadRow(uint64_t key, Row* out) {
+    Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+    Status s = db_->Read(txn, table_, 0, key, out);
+    if (s.IsAborted()) return s;
+    Status c = db_->Commit(txn);
+    return s.ok() ? c : s;
+  }
+
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+};
+
+TEST_P(MVBasicTest, InsertThenRead) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Row row{};
+  ASSERT_TRUE(ReadRow(1, &row).ok());
+  EXPECT_EQ(row.value, 100u);
+}
+
+TEST_P(MVBasicTest, ReadMissingIsNotFound) {
+  Row row{};
+  EXPECT_TRUE(ReadRow(999, &row).IsNotFound());
+}
+
+TEST_P(MVBasicTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  Row row{1, 200};
+  Status s = db_->Insert(txn, table_, &row);
+  EXPECT_TRUE(s.IsAlreadyExists());
+  db_->Abort(txn);
+  Row out{};
+  ASSERT_TRUE(ReadRow(1, &out).ok());
+  EXPECT_EQ(out.value, 100u);
+}
+
+TEST_P(MVBasicTest, UpdateChangesValue) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(db_->Update(txn, table_, 0, 1, [](void* p) {
+                   static_cast<Row*>(p)->value = 777;
+                 }).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Row row{};
+  ASSERT_TRUE(ReadRow(1, &row).ok());
+  EXPECT_EQ(row.value, 777u);
+}
+
+TEST_P(MVBasicTest, DeleteRemovesRow) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(db_->Delete(txn, table_, 0, 1).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Row row{};
+  EXPECT_TRUE(ReadRow(1, &row).IsNotFound());
+}
+
+TEST_P(MVBasicTest, AbortedInsertInvisible) {
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  Row row{5, 50};
+  ASSERT_TRUE(db_->Insert(txn, table_, &row).ok());
+  db_->Abort(txn);
+  Row out{};
+  EXPECT_TRUE(ReadRow(5, &out).IsNotFound());
+}
+
+TEST_P(MVBasicTest, AbortedUpdateRolledBack) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(db_->Update(txn, table_, 0, 1, [](void* p) {
+                   static_cast<Row*>(p)->value = 0xDEAD;
+                 }).ok());
+  db_->Abort(txn);
+  Row row{};
+  ASSERT_TRUE(ReadRow(1, &row).ok());
+  EXPECT_EQ(row.value, 100u);
+}
+
+TEST_P(MVBasicTest, AbortedDeleteRolledBack) {
+  ASSERT_TRUE(InsertRow(1, 100).ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(db_->Delete(txn, table_, 0, 1).ok());
+  db_->Abort(txn);
+  Row row{};
+  EXPECT_TRUE(ReadRow(1, &row).ok());
+  EXPECT_EQ(row.value, 100u);
+}
+
+TEST_P(MVBasicTest, OwnWritesVisibleBeforeCommit) {
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  Row row{9, 90};
+  ASSERT_TRUE(db_->Insert(txn, table_, &row).ok());
+  Row out{};
+  ASSERT_TRUE(db_->Read(txn, table_, 0, 9, &out).ok());
+  EXPECT_EQ(out.value, 90u);
+  ASSERT_TRUE(db_->Update(txn, table_, 0, 9, [](void* p) {
+                   static_cast<Row*>(p)->value = 91;
+                 }).ok());
+  ASSERT_TRUE(db_->Read(txn, table_, 0, 9, &out).ok());
+  EXPECT_EQ(out.value, 91u);
+  ASSERT_TRUE(db_->Delete(txn, table_, 0, 9).ok());
+  EXPECT_TRUE(db_->Read(txn, table_, 0, 9, &out).IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(MVBasicTest, UncommittedInvisibleToOthers) {
+  Txn* writer = db_->Begin(IsolationLevel::kReadCommitted);
+  Row row{3, 30};
+  ASSERT_TRUE(db_->Insert(writer, table_, &row).ok());
+
+  Txn* reader = db_->Begin(IsolationLevel::kReadCommitted);
+  Row out{};
+  Status s = db_->Read(reader, table_, 0, 3, &out);
+  if (GetParam() == Scheme::kSingleVersion) {
+    // 1V: the reader blocks on the writer's exclusive key lock and times
+    // out (no multiversioning to hide the uncommitted row behind).
+    ASSERT_TRUE(s.IsAborted());
+    EXPECT_EQ(s.abort_reason(), AbortReason::kLockTimeout);
+  } else {
+    // MV: the uncommitted version is simply invisible; no blocking.
+    EXPECT_TRUE(s.IsNotFound());
+    ASSERT_TRUE(db_->Commit(reader).ok());
+  }
+  ASSERT_TRUE(db_->Commit(writer).ok());
+
+  // Now visible.
+  EXPECT_TRUE(ReadRow(3, &out).ok());
+}
+
+TEST_P(MVBasicTest, ScanMatchesResidual) {
+  for (uint64_t k = 1; k <= 5; ++k) ASSERT_TRUE(InsertRow(100 + k, k).ok());
+  // All rows share no key; scan a single key with residual.
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  int seen = 0;
+  Status s = db_->Scan(
+      txn, table_, 0, 103,
+      [](const void* p) { return static_cast<const Row*>(p)->value >= 3; },
+      [&](const void*) {
+        ++seen;
+        return true;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(seen, 1);
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(MVBasicTest, ManyRowsSurviveChurn) {
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(InsertRow(k, k).ok());
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 200; ++k) {
+      Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+      ASSERT_TRUE(db_->Update(txn, table_, 0, k, [round](void* p) {
+                       static_cast<Row*>(p)->value += round;
+                     }).ok());
+      ASSERT_TRUE(db_->Commit(txn).ok());
+    }
+  }
+  Row row{};
+  ASSERT_TRUE(ReadRow(7, &row).ok());
+  EXPECT_EQ(row.value, 7u + 0 + 1 + 2 + 3 + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MVBasicTest,
+                         ::testing::Values(Scheme::kSingleVersion,
+                                           Scheme::kMultiVersionLocking,
+                                           Scheme::kMultiVersionOptimistic),
+                         [](const auto& info) {
+                           return std::string(
+                               SchemeName(info.param) == std::string("1V")
+                                   ? "SV"
+                                   : (info.param ==
+                                              Scheme::kMultiVersionLocking
+                                          ? "MVL"
+                                          : "MVO"));
+                         });
+
+}  // namespace
+}  // namespace mvstore

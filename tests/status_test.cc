@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mvstore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, AbortedCarriesReason) {
+  Status s = Status::Aborted(AbortReason::kWriteWriteConflict);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.abort_reason(), AbortReason::kWriteWriteConflict);
+  EXPECT_EQ(s.ToString(), "Aborted(WriteWriteConflict)");
+}
+
+TEST(StatusTest, NotFound) {
+  Status s = Status::NotFound();
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.abort_reason(), AbortReason::kNone);
+}
+
+TEST(StatusTest, AlreadyExists) {
+  Status s = Status::AlreadyExists();
+  EXPECT_TRUE(s.IsAlreadyExists());
+  EXPECT_EQ(s.ToString(), "AlreadyExists");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Aborted(AbortReason::kPhantom),
+            Status::Aborted(AbortReason::kPhantom));
+  EXPECT_FALSE(Status::Aborted(AbortReason::kPhantom) ==
+               Status::Aborted(AbortReason::kCascading));
+}
+
+TEST(StatusTest, AllAbortReasonsHaveNames) {
+  for (uint8_t r = 0; r <= static_cast<uint8_t>(AbortReason::kUserRequested);
+       ++r) {
+    EXPECT_STRNE(AbortReasonName(static_cast<AbortReason>(r)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mvstore

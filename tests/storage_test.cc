@@ -1,0 +1,146 @@
+// Storage-layer details: version layout, multi-index tables, catalog, and
+// the striped statistics counters.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/counters.h"
+#include "storage/table.h"
+#include "storage/version.h"
+
+namespace mvstore {
+namespace {
+
+struct Wide {
+  uint64_t a;
+  uint64_t b;
+  char blob[40];
+};
+uint64_t WideKeyA(const void* p) { return static_cast<const Wide*>(p)->a; }
+uint64_t WideKeyB(const void* p) { return static_cast<const Wide*>(p)->b; }
+
+TEST(VersionTest, AllocSizeAccountsForIndexesAndPayload) {
+  EXPECT_EQ(Version::AllocSize(1, 24), sizeof(Version) + 8 + 24);
+  EXPECT_EQ(Version::AllocSize(3, 100), sizeof(Version) + 24 + 100);
+}
+
+TEST(VersionTest, CreateInitializesInvisible) {
+  alignas(Version) char storage[256];
+  uint8_t payload[16] = {1, 2, 3};
+  Version* v = Version::Create(storage, 2, sizeof(payload), payload);
+  EXPECT_EQ(beginword::TimestampOf(v->begin.load()), kInfinity);
+  EXPECT_EQ(lockword::TimestampOf(v->end.load()), kInfinity);
+  EXPECT_EQ(v->Next(0).load(), nullptr);
+  EXPECT_EQ(v->Next(1).load(), nullptr);
+  EXPECT_EQ(std::memcmp(v->Payload(), payload, sizeof(payload)), 0);
+  EXPECT_EQ(v->payload_size(), sizeof(payload));
+  EXPECT_EQ(v->num_indexes(), 2u);
+}
+
+TEST(VersionTest, PayloadOffsetIndependentPerIndexCount) {
+  // Payload must sit after the next-pointer array regardless of count.
+  for (uint32_t n : {1u, 2u, 4u}) {
+    std::vector<char> storage(Version::AllocSize(n, 8));
+    uint64_t magic = 0xABCDEF0123456789ull;
+    Version* v = Version::Create(storage.data(), n, 8, &magic);
+    EXPECT_EQ(*static_cast<const uint64_t*>(v->Payload()), magic);
+  }
+}
+
+TEST(TableTest, MultiIndexInsertAndUnlink) {
+  TableDef def;
+  def.name = "wide";
+  def.payload_size = sizeof(Wide);
+  def.indexes.push_back(IndexDef{&WideKeyA, 64, true});
+  def.indexes.push_back(IndexDef{&WideKeyB, 64, false});
+  Table table(0, def);
+  ASSERT_EQ(table.num_indexes(), 2u);
+
+  Wide row{1, 100, {0}};
+  Version* v = table.AllocateVersion(&row);
+  table.InsertIntoAllIndexes(v);
+  EXPECT_EQ(table.index(0).CountEntries(), 1u);
+  EXPECT_EQ(table.index(1).CountEntries(), 1u);
+
+  // Reachable by both keys.
+  bool found_a = false, found_b = false;
+  table.index(0).ScanBucket(1, [&](Version* x) {
+    found_a = (x == v);
+    return !found_a;
+  });
+  table.index(1).ScanBucket(100, [&](Version* x) {
+    found_b = (x == v);
+    return !found_b;
+  });
+  EXPECT_TRUE(found_a);
+  EXPECT_TRUE(found_b);
+
+  table.UnlinkFromAllIndexes(v);
+  EXPECT_EQ(table.index(0).CountEntries(), 0u);
+  EXPECT_EQ(table.index(1).CountEntries(), 0u);
+  Table::FreeUnpublishedVersion(v);
+}
+
+TEST(TableTest, AllocateWithNullPayloadLeavesUninitialized) {
+  TableDef def;
+  def.name = "t";
+  def.payload_size = 8;
+  def.indexes.push_back(IndexDef{&WideKeyA, 16, true});
+  Table table(0, def);
+  Version* v = table.AllocateVersion(nullptr);
+  ASSERT_NE(v, nullptr);
+  Table::FreeUnpublishedVersion(v);
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "alpha";
+  def.payload_size = 8;
+  def.indexes.push_back(IndexDef{&WideKeyA, 16, true});
+  TableId a = catalog.CreateTable(def);
+  def.name = "beta";
+  TableId b = catalog.CreateTable(def);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.table(a).name(), "alpha");
+  EXPECT_EQ(catalog.num_tables(), 2u);
+  EXPECT_EQ(catalog.FindByName("beta"), &catalog.table(b));
+  EXPECT_EQ(catalog.FindByName("gamma"), nullptr);
+}
+
+TEST(CountersTest, AddAndAggregate) {
+  StatsCollector stats;
+  stats.Add(Stat::kTxnCommitted, 5);
+  stats.Add(Stat::kTxnCommitted, 3);
+  stats.Add(Stat::kTxnAborted);
+  EXPECT_EQ(stats.Get(Stat::kTxnCommitted), 8u);
+  EXPECT_EQ(stats.Get(Stat::kTxnAborted), 1u);
+  stats.Reset();
+  EXPECT_EQ(stats.Get(Stat::kTxnCommitted), 0u);
+}
+
+TEST(CountersTest, ConcurrentAddsAreLossless) {
+  StatsCollector stats;
+  constexpr int kThreads = 8, kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) stats.Add(Stat::kVersionsCreated);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(stats.Get(Stat::kVersionsCreated),
+            static_cast<uint64_t>(kThreads) * kPer);
+}
+
+TEST(CountersTest, ToStringListsNonZero) {
+  StatsCollector stats;
+  stats.Add(Stat::kDeadlocksDetected, 2);
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("deadlocks_detected=2"), std::string::npos);
+  EXPECT_EQ(s.find("txn_committed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvstore

@@ -1,0 +1,161 @@
+// TATP workload: population rules, non-uniform key generation, the
+// transaction mix, and referential consistency under concurrent execution
+// across all three schemes (paper Section 5.3).
+#include "workload/tatp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace mvstore {
+namespace {
+
+using tatp::TatpDatabase;
+using tatp::TatpTxnType;
+
+class TatpTest : public ::testing::TestWithParam<Scheme> {
+ protected:
+  static constexpr uint64_t kSubscribers = 500;
+
+  TatpTest() {
+    DatabaseOptions opts;
+    opts.scheme = GetParam();
+    opts.log_mode = LogMode::kDisabled;
+    opts.lock_timeout_us = 5000;
+    db_ = std::make_unique<Database>(opts);
+    tatp_ = tatp::LoadTatp(*db_, kSubscribers);
+  }
+
+  std::unique_ptr<Database> db_;
+  TatpDatabase tatp_;
+};
+
+TEST_P(TatpTest, PopulationIsConsistent) {
+  EXPECT_TRUE(tatp::CheckConsistency(*db_, tatp_));
+}
+
+TEST_P(TatpTest, EverySubscriberLoaded) {
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  for (uint64_t sid = 1; sid <= kSubscribers; ++sid) {
+    tatp::SubscriberRow sub{};
+    ASSERT_TRUE(db_->Read(txn, tatp_.subscriber, 0, sid, &sub).ok());
+    EXPECT_EQ(sub.s_id, sid);
+    EXPECT_EQ(sub.sub_nbr, sid);
+    // Lookup by sub_nbr (second index) finds the same subscriber.
+    tatp::SubscriberRow by_nbr{};
+    ASSERT_TRUE(db_->Read(txn, tatp_.subscriber, 1, sid, &by_nbr).ok());
+    EXPECT_EQ(by_nbr.s_id, sid);
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(TatpTest, EverySubscriberHasAccessInfoAndSpecialFacility) {
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  for (uint64_t sid = 1; sid <= kSubscribers; ++sid) {
+    int ai = 0, sf = 0;
+    ASSERT_TRUE(db_->Scan(txn, tatp_.access_info, 1, sid, nullptr,
+                          [&](const void*) {
+                            ++ai;
+                            return true;
+                          })
+                    .ok());
+    ASSERT_TRUE(db_->Scan(txn, tatp_.special_facility, 1, sid, nullptr,
+                          [&](const void*) {
+                            ++sf;
+                            return true;
+                          })
+                    .ok());
+    EXPECT_GE(ai, 1);
+    EXPECT_LE(ai, 4);
+    EXPECT_GE(sf, 1);
+    EXPECT_LE(sf, 4);
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(TatpTest, MixMatchesSpec) {
+  Random rng(7);
+  uint64_t counts[7] = {0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<int>(tatp::PickTxnType(rng))]++;
+  }
+  EXPECT_NEAR(counts[0], kDraws * 0.35, kDraws * 0.02);  // GetSubscriberData
+  EXPECT_NEAR(counts[1], kDraws * 0.10, kDraws * 0.02);  // GetNewDestination
+  EXPECT_NEAR(counts[2], kDraws * 0.35, kDraws * 0.02);  // GetAccessData
+  EXPECT_NEAR(counts[3], kDraws * 0.02, kDraws * 0.01);  // UpdateSubscriber
+  EXPECT_NEAR(counts[4], kDraws * 0.14, kDraws * 0.02);  // UpdateLocation
+  EXPECT_NEAR(counts[5], kDraws * 0.02, kDraws * 0.01);  // InsertCF
+  EXPECT_NEAR(counts[6], kDraws * 0.02, kDraws * 0.01);  // DeleteCF
+}
+
+TEST_P(TatpTest, NonUniformSidInRangeAndSkewed) {
+  Random rng(9);
+  std::vector<uint64_t> histogram(kSubscribers + 1, 0);
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t sid = tatp::NonUniformSid(rng, kSubscribers);
+    ASSERT_GE(sid, 1u);
+    ASSERT_LE(sid, kSubscribers);
+    histogram[sid]++;
+  }
+  // The OR-based generator skews toward ids with more set bits; verify it is
+  // not uniform (chi-square style: max/min ratio clearly > 1).
+  uint64_t max_count = 0, min_count = ~uint64_t{0};
+  for (uint64_t sid = 1; sid <= kSubscribers; ++sid) {
+    max_count = std::max(max_count, histogram[sid]);
+    min_count = std::min(min_count, histogram[sid]);
+  }
+  EXPECT_GT(max_count, 2 * (min_count + 1));
+}
+
+TEST_P(TatpTest, AllTransactionTypesExecute) {
+  Random rng(11);
+  for (int type = 0; type < 7; ++type) {
+    int committed = 0;
+    for (int i = 0; i < 50; ++i) {
+      Status s = tatp::RunTatpTxn(*db_, tatp_, rng,
+                                  static_cast<TatpTxnType>(type));
+      if (s.ok()) ++committed;
+    }
+    EXPECT_GT(committed, 0) << "txn type " << type;
+  }
+  EXPECT_TRUE(tatp::CheckConsistency(*db_, tatp_));
+}
+
+TEST_P(TatpTest, ConcurrentMixKeepsConsistency) {
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(100 + t);
+      for (int i = 0; i < 2000; ++i) {
+        Status s =
+            tatp::RunTatpTxn(*db_, tatp_, rng, tatp::PickTxnType(rng));
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(committed.load(), 4000u);
+  EXPECT_TRUE(tatp::CheckConsistency(*db_, tatp_));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TatpTest,
+                         ::testing::Values(Scheme::kSingleVersion,
+                                           Scheme::kMultiVersionLocking,
+                                           Scheme::kMultiVersionOptimistic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Scheme::kSingleVersion:
+                               return std::string("SV");
+                             case Scheme::kMultiVersionLocking:
+                               return std::string("MVL");
+                             default:
+                               return std::string("MVO");
+                           }
+                         });
+
+}  // namespace
+}  // namespace mvstore

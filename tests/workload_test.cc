@@ -1,0 +1,98 @@
+// Workload generator helpers (paper Section 5.1): table loading, the R/W
+// transaction bodies, and the long-reader body.
+#include "workload/homogeneous.h"
+
+#include <gtest/gtest.h>
+
+namespace mvstore {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<Scheme> {
+ protected:
+  WorkloadTest() {
+    DatabaseOptions opts;
+    opts.scheme = GetParam();
+    opts.log_mode = LogMode::kDisabled;
+    db_ = std::make_unique<Database>(opts);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(WorkloadTest, LoadCreatesAllRows) {
+  TableId table = workload::CreateAndLoadRows(*db_, 500);
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  workload::Row24 row{};
+  for (uint64_t k : {uint64_t{0}, uint64_t{250}, uint64_t{499}}) {
+    ASSERT_TRUE(db_->Read(txn, table, 0, k, &row).ok());
+    EXPECT_EQ(row.key, k);
+    EXPECT_EQ(row.value, k * 10);
+  }
+  EXPECT_TRUE(db_->Read(txn, table, 0, 500, &row).IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(WorkloadTest, UpdateTxnPerformsRAndW) {
+  TableId table = workload::CreateAndLoadRows(*db_, 100);
+  Random rng(3);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (workload::RunUpdateTxn(*db_, table, rng, 100, 10, 2,
+                               IsolationLevel::kReadCommitted)
+            .ok()) {
+      ++committed;
+    }
+  }
+  EXPECT_GT(committed, 0);
+  // 2 writes per committed txn, each +1 on a row's value: total delta
+  // equals 2 * committed.
+  int64_t total_delta = 0;
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  workload::Row24 row{};
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(db_->Read(txn, table, 0, k, &row).ok());
+    total_delta += static_cast<int64_t>(row.value) -
+                   static_cast<int64_t>(k * 10);
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  EXPECT_EQ(total_delta, 2 * committed);
+}
+
+TEST_P(WorkloadTest, ReadOnlyTxnTouchesNothing) {
+  TableId table = workload::CreateAndLoadRows(*db_, 100);
+  Random rng(4);
+  ASSERT_TRUE(workload::RunReadOnlyTxn(*db_, table, rng, 100, 10,
+                                       IsolationLevel::kReadCommitted)
+                  .ok());
+  Txn* txn = db_->Begin(IsolationLevel::kReadCommitted);
+  workload::Row24 row{};
+  ASSERT_TRUE(db_->Read(txn, table, 0, 7, &row).ok());
+  EXPECT_EQ(row.value, 70u);
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_P(WorkloadTest, LongReadTxnChecksumsRows) {
+  TableId table = workload::CreateAndLoadRows(*db_, 200);
+  Random rng(5);
+  uint64_t checksum = 0;
+  ASSERT_TRUE(
+      workload::RunLongReadTxn(*db_, table, rng, 200, 50, &checksum).ok());
+  EXPECT_GT(checksum, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, WorkloadTest,
+                         ::testing::Values(Scheme::kSingleVersion,
+                                           Scheme::kMultiVersionLocking,
+                                           Scheme::kMultiVersionOptimistic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Scheme::kSingleVersion:
+                               return std::string("SV");
+                             case Scheme::kMultiVersionLocking:
+                               return std::string("MVL");
+                             default:
+                               return std::string("MVO");
+                           }
+                         });
+
+}  // namespace
+}  // namespace mvstore
