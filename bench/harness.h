@@ -1,6 +1,13 @@
 // Shared benchmark harness: fixed-duration multi-threaded throughput runs
 // with paper-style tabular output.
 //
+// Reproduces the experimental methodology of paper Section 5: a fixed
+// multiprogramming level (one worker thread per concurrent transaction, no
+// think time), throughput measured over a fixed wall-clock window, swept
+// over thread counts / read mixes / isolation levels depending on the
+// figure. The paper measures on a 2-socket 24-thread box; DefaultMaxThreads
+// below adapts the multiprogramming cap to the host.
+//
 // Every bench binary accepts:
 //   --seconds S     measurement window per data point (default 0.5)
 //   --rows N        table size (default differs per experiment)

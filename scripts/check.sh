@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure, build, and run the full test suite.
+#
+# Usage:
+#   scripts/check.sh              # everything (tier-1, what CI gates on)
+#   scripts/check.sh unit         # fast suites only
+#   scripts/check.sh stress       # only bank_stress_test / tatp_test
+#
+# Environment overrides:
+#   BUILD_DIR   (default: build)
+#   BUILD_TYPE  (default: Release)
+#   WERROR=ON   treat warnings in src/ as errors (what CI does)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BUILD_TYPE=${BUILD_TYPE:-Release}
+LABEL=${1:-}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  ${WERROR:+-DMVSTORE_WERROR="$WERROR"}
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j"$JOBS" \
+  ${LABEL:+-L "$LABEL"}

@@ -208,7 +208,7 @@ Status MVEngine::AcquireReadLock(Transaction* txn, Version* v, bool* locked) {
   }
 }
 
-void MVEngine::ReleaseReadLock(Transaction* txn, Version* v) {
+void MVEngine::ReleaseReadLock(Transaction* /*txn*/, Version* v) {
   while (true) {
     uint64_t end_word = v->end.load(std::memory_order_acquire);
     if (!lockword::IsLockWord(end_word)) return;  // finalized under us (abort)
@@ -426,7 +426,7 @@ Status MVEngine::TakeBucketLockDependencies(Transaction* txn,
 /// Scans and point operations
 /// ---------------------------------------------------------------------------
 
-Version* MVEngine::FindVisible(Transaction* txn, Table& table, HashIndex& index,
+Version* MVEngine::FindVisible(Transaction* txn, Table& /*table*/, HashIndex& index,
                                uint64_t key, Timestamp read_time,
                                const Predicate& residual, Status* status) {
   *status = Status::OK();

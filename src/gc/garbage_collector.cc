@@ -37,6 +37,7 @@ void GarbageCollector::EnqueueImmediate(Table* table, Version* version) {
 
 uint32_t GarbageCollector::Drain(Shard& shard, Timestamp watermark,
                                  uint32_t budget) {
+  drains_in_flight_.fetch_add(1, std::memory_order_acquire);
   // Collect reclaimable items under the latch; unlink/retire outside it.
   std::vector<Item> ready;
   {
@@ -60,6 +61,7 @@ uint32_t GarbageCollector::Drain(Shard& shard, Timestamp watermark,
     stats_.Add(Stat::kVersionsCollected);
   }
   pending_.fetch_sub(ready.size(), std::memory_order_relaxed);
+  drains_in_flight_.fetch_sub(1, std::memory_order_release);
   return static_cast<uint32_t>(ready.size());
 }
 
@@ -74,6 +76,7 @@ uint32_t GarbageCollector::Cooperate(uint32_t budget) {
 }
 
 uint64_t GarbageCollector::RunOnce() {
+  std::lock_guard<std::mutex> lock(run_once_mutex_);
   Timestamp now = now_fn_ != nullptr ? now_fn_(now_arg_) : kInfinity;
   Timestamp watermark = Watermark(now);
   uint64_t total = 0;
@@ -83,6 +86,11 @@ uint64_t GarbageCollector::RunOnce() {
       n = Drain(shard, watermark, 256);
       total += n;
     } while (n > 0);
+  }
+  // Our own drains are done; wait out any worker still between its
+  // Cooperate pop and the unlink, so our return implies "unlinked".
+  while (drains_in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
   }
   return total;
 }

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <deque>
+#include <mutex>
 #include <thread>
 
 #include "common/counters.h"
@@ -56,7 +57,11 @@ class GarbageCollector {
   uint32_t Cooperate(uint32_t budget);
 
   /// Reclaim everything currently ready. For the background thread, tests
-  /// and shutdown.
+  /// and shutdown. When RunOnce returns, every item that any concurrent
+  /// drain (another RunOnce or a worker's Cooperate) had already popped has
+  /// been unlinked too: Drain unlinks outside the shard latch, so without
+  /// the mutex + in-flight wait a caller could observe popped-but-
+  /// still-linked versions.
   uint64_t RunOnce();
 
   /// Versions queued but not yet reclaimed (approximate).
@@ -110,6 +115,8 @@ class GarbageCollector {
   StatsCollector& stats_;
   const uint32_t interval_us_;
 
+  std::mutex run_once_mutex_;  // serializes full RunOnce passes
+  std::atomic<uint32_t> drains_in_flight_{0};
   std::array<Shard, kShards> shards_;
   std::atomic<uint32_t> enqueue_cursor_{0};
   std::atomic<uint32_t> drain_cursor_{0};

@@ -1,5 +1,11 @@
 // Single-version locking engine ("1V", paper Section 5).
 //
+// The paper's baseline: a well-tuned single-version engine with strict
+// two-phase locking, against which both multiversion schemes (MV/O, MV/L;
+// see cc/mv_engine.h) are compared in every experiment of Section 5. Its
+// raw-overhead win under low contention (Figure 4) and its collapse under
+// long readers (Figures 8-9) frame the paper's robustness argument.
+//
 // Rows are stored single-versioned in the same lock-free hash indexes as the
 // MV engine (the Version header's Begin/End words are unused). Updates are
 // applied in place under an exclusive key lock; aborts restore before-images

@@ -14,6 +14,14 @@
 //
 // The epoch advances cooperatively: every kAdvanceInterval retirements the
 // retiring thread attempts a bump. There is no dedicated epoch thread.
+//
+// This layer underpins the version garbage collection of Section 2.3
+// (gc/garbage_collector.*): the GC decides *when* a version is invisible to
+// every transaction (timestamp watermark) and unlinks it from the indexes;
+// the epoch layer then decides when the unlinked memory is safe to free
+// (no in-flight lock-free scan still holds the pointer). It is also what
+// makes the paper's claim that readers "never block" hold at the memory
+// level: reclamation never waits for readers, only for their epochs.
 #pragma once
 
 #include <atomic>

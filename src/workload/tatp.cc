@@ -180,13 +180,13 @@ Status GetNewDestination(Database& db, const TatpDatabase& tatp, Random& rng,
                      SpecialFacilityKey(sid, sf_type), &sf);
   if (s.IsAborted()) return s;
   if (s.ok() && sf.is_active == 1) {
-    // Scan matching call-forwarding rows: start_time <= start < end_time.
+    // Spec predicate: cf.start_time <= <start_time> AND <end_time> < cf.end_time.
     uint64_t numberx = 0;
     Status scan = db.Scan(
         txn, tatp.call_forwarding, 1, CallForwardingSfKey(sid, sf_type),
         [&](const void* p) {
           const auto* cf = static_cast<const CallForwardingRow*>(p);
-          return cf->start_time <= start_time && start_time < cf->end_time;
+          return cf->start_time <= start_time && end_time < cf->end_time;
         },
         [&](const void* p) {
           numberx = static_cast<const CallForwardingRow*>(p)->numberx;
