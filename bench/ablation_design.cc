@@ -4,6 +4,7 @@
 //   * logging disabled/async/sync -- what group commit buys
 //   * GC on/off                 -- what version cleanup costs (and what
 //                                  unbounded chains would do instead)
+//   * slab allocator on/off     -- what src/mem/ recycling buys the hot path
 // Homogeneous R=10/W=2 workload at a fixed multiprogramming level.
 #include "bench/harness.h"
 #include "common/random.h"
@@ -14,8 +15,8 @@ using namespace mvstore::bench;
 
 namespace {
 
-double MeasureTps(const DatabaseOptions& opts, uint64_t rows, uint32_t threads,
-                  double seconds) {
+RunResult Measure(const DatabaseOptions& opts, uint64_t rows,
+                  uint32_t threads, double seconds) {
   Database db(opts);
   TableId table = workload::CreateAndLoadRows(db, rows);
   RunResult r = RunFixedDuration(
@@ -32,7 +33,7 @@ double MeasureTps(const DatabaseOptions& opts, uint64_t rows, uint32_t threads,
           }
         }
       });
-  return r.tps();
+  return r;
 }
 
 }  // namespace
@@ -47,41 +48,48 @@ int main(int argc, char** argv) {
   std::printf("# Ablations: MV/O, R=10 W=2, N=%llu, MPL=%u\n",
               static_cast<unsigned long long>(rows), threads);
   std::printf("%-40s %16s\n", "configuration", "tx/sec");
+  JsonReporter json(flags, BenchSlug(argv[0]));
+  auto report = [&](const char* name, const char* tag,
+                    const DatabaseOptions& opts) {
+    RunResult r = Measure(opts, rows, threads, seconds);
+    std::printf("%-40s %16.0f\n", name, r.tps());
+    json.AddRow(tag, threads, r.tps(), r.aborted);
+  };
 
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
-    std::printf("%-40s %16.0f\n", "baseline (honor_locks, async log, gc)",
-                MeasureTps(opts, rows, threads, seconds));
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
+    report("baseline (honor_locks, async log, gc)", "baseline", opts);
   }
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
     opts.honor_locks = false;
-    std::printf("%-40s %16.0f\n", "pure MV/O (no lock honoring barrier)",
-                MeasureTps(opts, rows, threads, seconds));
+    report("pure MV/O (no lock honoring barrier)", "no_honor_locks", opts);
   }
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
     opts.log_mode = LogMode::kDisabled;
-    std::printf("%-40s %16.0f\n", "logging disabled",
-                MeasureTps(opts, rows, threads, seconds));
+    report("logging disabled", "no_log", opts);
   }
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
     opts.log_mode = LogMode::kSync;
-    std::printf("%-40s %16.0f\n", "synchronous logging (durable commit)",
-                MeasureTps(opts, rows, threads, seconds));
+    report("synchronous logging (durable commit)", "sync_log", opts);
   }
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic);
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
     opts.gc_interval_us = 0;  // cooperative only
-    std::printf("%-40s %16.0f\n", "no background GC (cooperative only)",
-                MeasureTps(opts, rows, threads, seconds));
+    report("no background GC (cooperative only)", "no_bg_gc", opts);
   }
   {
-    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionLocking);
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionOptimistic, flags);
+    opts.use_slab_allocator = false;
+    report("heap allocator (memory subsystem off)", "heap_alloc", opts);
+  }
+  {
+    DatabaseOptions opts = MakeOptions(Scheme::kMultiVersionLocking, flags);
     opts.deadlock_interval_us = 100;
-    std::printf("%-40s %16.0f\n", "MV/L with aggressive deadlock detection",
-                MeasureTps(opts, rows, threads, seconds));
+    report("MV/L with aggressive deadlock detection", "mvl_fast_deadlock",
+           opts);
   }
   return 0;
 }

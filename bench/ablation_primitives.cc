@@ -116,20 +116,37 @@ BENCHMARK_DEFINE_F(IndexFixture, VisibilityCheck)(benchmark::State& state) {
 }
 BENCHMARK_REGISTER_F(IndexFixture, VisibilityCheck);
 
+/// Version allocation churn, slab vs heap (the alloc_bench axis, inside the
+/// google-benchmark harness): each thread keeps a small FIFO ring of live
+/// versions, the shape GC-driven recycling produces.
+template <bool kUseSlab>
 void BM_VersionAllocFree(benchmark::State& state) {
-  TableDef def;
-  def.name = "alloc";
-  def.payload_size = sizeof(Row);
-  def.indexes.push_back(IndexDef{&RowKey, 64, true});
-  Table table(0, def);
+  static Table* table = [] {
+    TableDef def;
+    def.name = kUseSlab ? "alloc_slab" : "alloc_heap";
+    def.payload_size = sizeof(Row);
+    def.indexes.push_back(IndexDef{&RowKey, 64, true});
+    return new Table(0, def, TableMemoryOptions{kUseSlab, nullptr});
+  }();
   Row row{1, 2, 3};
+  constexpr uint32_t kLive = 64;
+  std::vector<Version*> ring(kLive, nullptr);
+  uint32_t cursor = 0;
   for (auto _ : state) {
-    Version* v = table.AllocateVersion(&row);
+    if (ring[cursor] != nullptr) table->FreeUnpublishedVersion(ring[cursor]);
+    Version* v = table->AllocateVersion(&row);
     benchmark::DoNotOptimize(v);
-    Table::FreeUnpublishedVersion(v);
+    ring[cursor] = v;
+    cursor = (cursor + 1) % kLive;
+  }
+  for (Version* v : ring) {
+    if (v != nullptr) table->FreeUnpublishedVersion(v);
   }
 }
-BENCHMARK(BM_VersionAllocFree);
+BENCHMARK(BM_VersionAllocFree<false>)->Name("BM_VersionAllocFree/heap")
+    ->ThreadRange(1, 8);
+BENCHMARK(BM_VersionAllocFree<true>)->Name("BM_VersionAllocFree/slab")
+    ->ThreadRange(1, 8);
 
 }  // namespace
 }  // namespace mvstore

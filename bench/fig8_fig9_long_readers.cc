@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetUint("threads", DefaultMaxThreads()));
   const uint64_t touches = flags.GetUint("touches", rows / 10);
+  JsonReporter json(flags, BenchSlug(argv[0]));
 
   std::printf("# Figures 8+9: long serializable readers (touch %llu rows = "
               "10%% of N=%llu), short updates R=10 W=2, MPL=%u\n",
@@ -34,8 +35,11 @@ int main(int argc, char** argv) {
   std::vector<Scheme> schemes = SchemesToRun(flags);
   std::vector<std::unique_ptr<Database>> dbs;
   std::vector<TableId> tables;
+  std::vector<std::string> labels;
   for (Scheme s : schemes) {
-    dbs.push_back(std::make_unique<Database>(MakeOptions(s)));
+    DatabaseOptions opts = MakeOptions(s, flags);
+    labels.push_back(SchemeLabel(s, opts));
+    dbs.push_back(std::make_unique<Database>(opts));
     tables.push_back(workload::CreateAndLoadRows(*dbs.back(), rows));
   }
 
@@ -93,6 +97,10 @@ int main(int argc, char** argv) {
       upd[i] = r.tps();
       // Read throughput reported as rows read/sec by long readers.
       rd[i] = r.tps_class2() * static_cast<double>(touches);
+      json.AddRow(labels[i] + "@readers" + std::to_string(x) + "/upd",
+                  threads, upd[i], r.aborted);
+      json.AddRow(labels[i] + "@readers" + std::to_string(x) + "/rd", threads,
+                  rd[i], r.aborted);
     }
     std::printf("%-10u", x);
     for (double v : upd) std::printf("%14.0f", v);

@@ -13,9 +13,13 @@
 //   --rows N        table size (default differs per experiment)
 //   --threads T     max multiprogramming level (default min(24, hw))
 //   --scheme X      restrict to one scheme (1V, MV/L, MV/O)
+//   --slab 0|1      memory subsystem: slab recycling (default) vs heap
+//   --json PATH     additionally emit machine-readable result rows
 //   --full          paper-scale parameters (10M rows etc.)
 // Defaults are sized so that `for b in build/bench/*; do $b; done` finishes
 // in minutes on a laptop; --full reproduces the paper's scale.
+// scripts/bench_report.sh runs the suite and merges the --json outputs into
+// a dated BENCH_<date>.json at the repo root (the perf trajectory record).
 #pragma once
 
 #include <atomic>
@@ -178,6 +182,86 @@ inline DatabaseOptions MakeOptions(Scheme scheme) {
   opts.log_mode = LogMode::kAsync;  // paper: asynchronous group commit
   return opts;
 }
+
+/// Bench slug for result rows: the binary's basename (e.g.
+/// "fig5_scalability_high").
+inline std::string BenchSlug(const char* argv0) {
+  std::string s = argv0;
+  size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/// MakeOptions honoring the common command-line axes (currently `--slab`).
+inline DatabaseOptions MakeOptions(Scheme scheme, const Flags& flags) {
+  DatabaseOptions opts = MakeOptions(scheme);
+  opts.use_slab_allocator = flags.GetUint("slab", 1) != 0;
+  return opts;
+}
+
+/// Label for result rows: scheme name, tagged when the heap fallback is on
+/// (so slab-vs-heap rows of the same bench are distinguishable).
+inline std::string SchemeLabel(Scheme scheme, const DatabaseOptions& opts) {
+  std::string label = SchemeName(scheme);
+  if (!opts.use_slab_allocator) label += "+heap";
+  return label;
+}
+
+/// Collects benchmark result rows and writes them as a JSON array:
+///   [{"bench": "...", "scheme": "...", "threads": N,
+///     "tps": T, "aborts": A}, ...]
+/// Enabled by `--json PATH`; a default-constructed reporter is a no-op, so
+/// benches can call AddRow unconditionally.
+class JsonReporter {
+ public:
+  JsonReporter() = default;
+  JsonReporter(std::string path, std::string bench)
+      : path_(std::move(path)), bench_(std::move(bench)) {}
+  JsonReporter(const Flags& flags, std::string bench)
+      : JsonReporter(flags.GetString("json", ""), std::move(bench)) {}
+
+  ~JsonReporter() { Write(); }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void AddRow(const std::string& scheme, uint32_t threads, double tps,
+              uint64_t aborts) {
+    if (!enabled()) return;
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "{\"bench\": \"%s\", \"scheme\": \"%s\", \"threads\": %u, "
+                  "\"tps\": %.1f, \"aborts\": %llu}",
+                  bench_.c_str(), scheme.c_str(), threads, tps,
+                  static_cast<unsigned long long>(aborts));
+    rows_.push_back(row);
+  }
+
+  /// Write the file now (also runs at destruction; idempotent).
+  void Write() {
+    if (!enabled() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    written_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace mvstore

@@ -21,6 +21,7 @@ inline int RunScalabilityBench(int argc, char** argv, uint64_t default_rows,
       static_cast<uint32_t>(flags.GetUint("threads", DefaultMaxThreads()));
   const uint32_t reads = static_cast<uint32_t>(flags.GetUint("reads", 10));
   const uint32_t writes = static_cast<uint32_t>(flags.GetUint("writes", 2));
+  JsonReporter json(flags, BenchSlug(argv[0]));
 
   std::printf("# %s: homogeneous workload, R=%u W=%u, N=%llu rows, "
               "Read Committed, %.2fs/point\n",
@@ -36,8 +37,11 @@ inline int RunScalabilityBench(int argc, char** argv, uint64_t default_rows,
   // the table is loaded once).
   std::vector<std::unique_ptr<Database>> dbs;
   std::vector<TableId> tables;
+  std::vector<std::string> labels;
   for (Scheme s : schemes) {
-    dbs.push_back(std::make_unique<Database>(MakeOptions(s)));
+    DatabaseOptions opts = MakeOptions(s, flags);
+    labels.push_back(SchemeLabel(s, opts));
+    dbs.push_back(std::make_unique<Database>(opts));
     tables.push_back(workload::CreateAndLoadRows(*dbs.back(), rows));
   }
 
@@ -62,6 +66,7 @@ inline int RunScalabilityBench(int argc, char** argv, uint64_t default_rows,
             }
           });
       std::printf("%14.0f", r.tps());
+      json.AddRow(labels[i], threads, r.tps(), r.aborted);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -19,6 +19,7 @@ inline int RunReadMixBench(int argc, char** argv, uint64_t default_rows,
   const double seconds = flags.GetDouble("seconds", 0.5);
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetUint("threads", DefaultMaxThreads()));
+  JsonReporter json(flags, BenchSlug(argv[0]));
 
   std::printf("# %s: read-only mix, N=%llu, MPL=%u, Read Committed\n",
               figure_name, static_cast<unsigned long long>(rows), threads);
@@ -29,8 +30,11 @@ inline int RunReadMixBench(int argc, char** argv, uint64_t default_rows,
 
   std::vector<std::unique_ptr<Database>> dbs;
   std::vector<TableId> tables;
+  std::vector<std::string> labels;
   for (Scheme s : schemes) {
-    dbs.push_back(std::make_unique<Database>(MakeOptions(s)));
+    DatabaseOptions opts = MakeOptions(s, flags);
+    labels.push_back(SchemeLabel(s, opts));
+    dbs.push_back(std::make_unique<Database>(opts));
     tables.push_back(workload::CreateAndLoadRows(*dbs.back(), rows));
   }
 
@@ -60,6 +64,10 @@ inline int RunReadMixBench(int argc, char** argv, uint64_t default_rows,
             }
           });
       std::printf("%14.0f", r.tps());
+      // read_pct is the x-axis here; encode it in the scheme label so the
+      // common row shape stays {bench, scheme, threads, tps, aborts}.
+      json.AddRow(labels[i] + "@read" + std::to_string(read_pct), threads,
+                  r.tps(), r.aborted);
     }
     std::printf("\n");
     std::fflush(stdout);

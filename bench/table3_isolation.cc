@@ -28,9 +28,12 @@ int main(int argc, char** argv) {
   const IsolationLevel levels[] = {IsolationLevel::kReadCommitted,
                                    IsolationLevel::kRepeatableRead,
                                    IsolationLevel::kSerializable};
+  const char* level_tags[] = {"RC", "RR", "SR"};
+  JsonReporter json(flags, BenchSlug(argv[0]));
 
   for (Scheme scheme : SchemesToRun(flags)) {
-    Database db(MakeOptions(scheme));
+    DatabaseOptions opts = MakeOptions(scheme, flags);
+    Database db(opts);
     TableId table = workload::CreateAndLoadRows(db, rows);
     double tps[3] = {0, 0, 0};
     for (int level = 0; level < 3; ++level) {
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
             }
           });
       tps[level] = r.tps();
+      json.AddRow(SchemeLabel(scheme, opts) + "@" + level_tags[level],
+                  threads, tps[level], r.aborted);
     }
     auto drop = [&](int level) {
       return tps[0] > 0 ? 100.0 * (tps[0] - tps[level]) / tps[0] : 0.0;

@@ -20,8 +20,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(subscribers), threads);
   std::printf("%-6s %20s %14s\n", "", "transactions/sec", "abort rate");
 
+  JsonReporter json(flags, "table4_tatp");
   for (Scheme scheme : SchemesToRun(flags)) {
-    Database db(MakeOptions(scheme));
+    DatabaseOptions opts = MakeOptions(scheme, flags);
+    Database db(opts);
     tatp::TatpDatabase tatp = tatp::LoadTatp(db, subscribers);
     RunResult r = RunFixedDuration(
         threads, seconds,
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
         });
     std::printf("%-6s %20.0f %13.2f%%\n", SchemeName(scheme), r.tps(),
                 100.0 * r.abort_rate());
+    json.AddRow(SchemeLabel(scheme, opts), threads, r.tps(), r.aborted);
     std::fflush(stdout);
   }
   return 0;

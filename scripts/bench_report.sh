@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and write a dated, machine-readable result file
+# (BENCH_<date>.json at the repo root) -- the repo's perf trajectory record.
+#
+# Usage: scripts/bench_report.sh [out.json]
+#   BUILD_DIR=build          build tree holding the bench binaries
+#   BENCH_SECONDS=0.3        measurement window per data point
+#   BENCH_THREADS=<default>  max multiprogramming level
+#   BENCH_REPEATS=1          runs per bench; rows are per-point medians
+#
+# Each bench emits a JSON array of {bench, scheme, threads, tps, aborts}
+# rows via --json; this script merges them, taking the per-point median
+# across repeats (single-run numbers on a shared/small box are noisy). The
+# slab-sensitive benches run twice (memory subsystem on and off) so every
+# report carries a slab-vs-heap comparison alongside the absolute numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SECONDS_PER_POINT="${BENCH_SECONDS:-0.3}"
+OUT="${1:-BENCH_$(date +%Y%m%d).json}"
+THREAD_FLAG=()
+if [[ -n "${BENCH_THREADS:-}" ]]; then
+  THREAD_FLAG=(--threads "${BENCH_THREADS}")
+fi
+
+REPEATS="${BENCH_REPEATS:-1}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+run() {
+  local name="$1"; shift
+  echo "== ${name}: $*" >&2
+  "$@" --seconds "${SECONDS_PER_POINT}" "${THREAD_FLAG[@]}" \
+      --json "${tmp}/${name}.json" >&2
+}
+
+for ((rep = 0; rep < REPEATS; ++rep)) do
+  run "alloc.${rep}"     "${BUILD_DIR}/alloc_bench"
+  run "fig5_slab.${rep}" "${BUILD_DIR}/fig5_scalability_high"
+  run "fig5_heap.${rep}" "${BUILD_DIR}/fig5_scalability_high" --slab 0
+  run "tatp_slab.${rep}" "${BUILD_DIR}/table4_tatp"
+  run "tatp_heap.${rep}" "${BUILD_DIR}/table4_tatp" --slab 0
+done
+
+python3 - "${OUT}" "${tmp}"/*.json <<'EOF'
+import json, statistics, sys
+out, *files = sys.argv[1:]
+samples = {}  # (bench, scheme, threads) -> [row, ...], insertion-ordered
+for f in files:
+    with open(f) as fh:
+        for row in json.load(fh):
+            key = (row["bench"], row["scheme"], row["threads"])
+            samples.setdefault(key, []).append(row)
+rows = []
+for runs in samples.values():
+    median = sorted(runs, key=lambda r: r["tps"])[len(runs) // 2]
+    rows.append({**median, "runs": len(runs)})
+with open(out, "w") as fh:
+    json.dump(rows, fh, indent=1)
+    fh.write("\n")
+print(f"wrote {out}: {len(rows)} points (median of {len(files) // 5} runs)")
+EOF

@@ -15,9 +15,11 @@ namespace {
 /// (a transaction never waits on itself).
 class TarjanScc {
  public:
-  explicit TarjanScc(const std::vector<std::vector<uint32_t>>& adjacency)
+  /// `n` bounds the live nodes: `adjacency` may be an oversized scratch
+  /// buffer whose entries past `n` are stale.
+  TarjanScc(const std::vector<std::vector<uint32_t>>& adjacency, uint32_t n)
       : adjacency_(adjacency),
-        n_(static_cast<uint32_t>(adjacency.size())),
+        n_(n),
         index_(n_, kUndefined),
         lowlink_(n_, 0),
         on_stack_(n_, 0) {}
@@ -104,13 +106,18 @@ void DeadlockDetector::Stop() {
 }
 
 uint32_t DeadlockDetector::RunOnce() {
+  std::lock_guard<std::mutex> pass_lock(pass_mutex_);
   EpochGuard guard(epoch_);
 
-  // Step 1: nodes = blocked transactions (Section 4.4 step 1).
-  std::vector<Transaction*> all = txn_table_.Snapshot();
-  std::vector<Transaction*> nodes;
-  std::unordered_map<TxnId, uint32_t> node_of;
-  for (Transaction* t : all) {
+  // Step 1: nodes = blocked transactions (Section 4.4 step 1). The scratch
+  // vectors keep their capacity across passes, so the common every-few-
+  // hundred-microseconds scan allocates nothing.
+  txn_table_.SnapshotInto(snapshot_scratch_);
+  std::vector<Transaction*>& nodes = nodes_scratch_;
+  nodes.clear();
+  std::unordered_map<TxnId, uint32_t>& node_of = node_of_scratch_;
+  node_of.clear();
+  for (Transaction* t : snapshot_scratch_) {
     if (t->blocked.load(std::memory_order_acquire)) {
       node_of.emplace(t->id, static_cast<uint32_t>(nodes.size()));
       nodes.push_back(t);
@@ -118,16 +125,18 @@ uint32_t DeadlockDetector::RunOnce() {
   }
   if (nodes.size() < 2) return 0;
 
-  std::vector<std::vector<uint32_t>> adjacency(nodes.size());
+  std::vector<std::vector<uint32_t>>& adjacency = adjacency_scratch_;
+  if (adjacency.size() < nodes.size()) adjacency.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) adjacency[i].clear();
 
   // Step 2: explicit edges. T2 in T1's WaitingTxnList waits for T1:
   // edge T2 -> T1.
   for (uint32_t i = 0; i < nodes.size(); ++i) {
     Transaction* t1 = nodes[i];
-    std::vector<TxnId> waiting;
+    std::vector<TxnId>& waiting = waiting_scratch_;
     {
       SpinLatchGuard latch(t1->waiting_latch);
-      waiting = t1->waiting_txn_list;
+      waiting.assign(t1->waiting_txn_list.begin(), t1->waiting_txn_list.end());
     }
     for (TxnId t2_id : waiting) {
       auto it = node_of.find(t2_id);
@@ -139,7 +148,8 @@ uint32_t DeadlockDetector::RunOnce() {
   // write-locked by T2: T2 waits for T1's release, edge T2 -> T1.
   for (uint32_t i = 0; i < nodes.size(); ++i) {
     Transaction* t1 = nodes[i];
-    std::vector<Version*> locked_versions;
+    std::vector<Version*>& locked_versions = locked_scratch_;
+    locked_versions.clear();
     {
       SpinLatchGuard latch(t1->read_set_latch);
       for (const ReadSetEntry& e : t1->read_set) {
@@ -157,7 +167,8 @@ uint32_t DeadlockDetector::RunOnce() {
   }
 
   // Find cycles.
-  auto components = TarjanScc(adjacency).Run();
+  auto components =
+      TarjanScc(adjacency, static_cast<uint32_t>(nodes.size())).Run();
   uint32_t victims = 0;
   for (const auto& component : components) {
     if (component.size() < 2) continue;

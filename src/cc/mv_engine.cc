@@ -35,7 +35,11 @@ Stat AbortStat(AbortReason reason) {
 
 }  // namespace
 
-MVEngine::MVEngine(MVEngineOptions options) : options_(options) {
+MVEngine::MVEngine(MVEngineOptions options)
+    : options_(options),
+      txn_pool_(options_.use_slab_allocator, &stats_) {
+  catalog_.ConfigureMemory(
+      Table::MemoryOptions{options_.use_slab_allocator, &stats_});
   LogSink* sink = nullptr;
   if (options_.log_mode != LogMode::kDisabled) {
     if (options_.log_path.empty()) {
@@ -63,10 +67,10 @@ MVEngine::~MVEngine() {
   deadlock_->Stop();
   gc_->Stop();
   // Abandoned transactions (tests that Begin and never finish): abort-free
-  // teardown -- just delete the objects.
+  // teardown -- just release the objects.
   for (Transaction* t : txn_table_.Snapshot()) {
     txn_table_.Remove(t->id);
-    delete t;
+    txn_pool_.Release(t);
   }
   // Drain the GC queue completely: with no live transactions, the watermark
   // passes everything.
@@ -81,7 +85,7 @@ MVEngine::~MVEngine() {
       versions.push_back(v);
       return true;
     });
-    for (Version* v : versions) Table::FreeUnpublishedVersion(v);
+    for (Version* v : versions) table.FreeUnpublishedVersion(v);
   }
 }
 
@@ -97,7 +101,8 @@ Transaction* MVEngine::Begin(IsolationLevel isolation, bool pessimistic,
                     isolation == IsolationLevel::kRepeatableRead)) {
     isolation = IsolationLevel::kSnapshot;
   }
-  auto* txn = new Transaction(id_gen_.Next(), isolation, pessimistic, read_only);
+  Transaction* txn =
+      txn_pool_.Acquire(id_gen_.Next(), isolation, pessimistic, read_only);
   // Publish with begin_ts == 0 first: the GC watermark treats an unknown
   // begin timestamp as "could be anything", so no version this transaction
   // might see can be reclaimed in the window before the timestamp is set.
@@ -638,7 +643,7 @@ Status MVEngine::Insert(Transaction* txn, TableId table_id,
   if (unique && key_conflict(v)) {
     txn->write_set.pop_back();
     table.UnlinkFromAllIndexes(v);
-    epoch_.Retire(v, &Table::VersionDeleter);
+    epoch_.Retire(v, &Table::VersionDeleter, &table);
     return Status::AlreadyExists();
   }
   return Status::OK();
@@ -913,7 +918,14 @@ void MVEngine::Terminate(Transaction* txn, bool committed) {
   }
   txn->state.store(TxnState::kTerminated, std::memory_order_release);
   txn_table_.Remove(txn->id);
-  epoch_.RetireObject(txn);
+  // Back to the pool once no visibility check can still dereference it.
+  epoch_.Retire(
+      txn,
+      [](void* p, void* pool) {
+        static_cast<ObjectPool<Transaction>*>(pool)->Release(
+            static_cast<Transaction*>(p));
+      },
+      &txn_pool_);
 }
 
 Status MVEngine::DoAbort(Transaction* txn, AbortReason reason) {

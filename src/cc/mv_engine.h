@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "gc/garbage_collector.h"
 #include "log/logger.h"
+#include "mem/object_pool.h"
 #include "storage/table.h"
 #include "txn/timestamp.h"
 #include "txn/transaction.h"
@@ -50,6 +51,12 @@ struct MVEngineOptions {
 
   /// Deadlock-detector pass interval; 0 disables the thread.
   uint32_t deadlock_interval_us = 1000;
+
+  /// Recycle version slots through per-table slabs and transaction objects
+  /// through a pool (mem/). Off = every version/transaction is a global
+  /// heap allocation -- slower, but gives ASan-style tooling full lifetime
+  /// visibility.
+  bool use_slab_allocator = true;
 };
 
 /// Callback deciding whether a payload matches a residual predicate.
@@ -200,12 +207,15 @@ class MVEngine {
   void DrainWaitingList(Transaction* txn);
 
   MVEngineOptions options_;
+  /// stats_ precedes catalog_ and txn_pool_: table slabs and the pool flush
+  /// local counters into it on destruction.
+  StatsCollector stats_;
   Catalog catalog_;
+  ObjectPool<Transaction> txn_pool_;
   EpochManager epoch_;
   TxnTable txn_table_;
   TimestampGenerator ts_gen_;
   TxnIdGenerator id_gen_;
-  StatsCollector stats_;
   BucketLockTable bucket_locks_;
   std::unique_ptr<Logger> logger_;
   std::unique_ptr<GarbageCollector> gc_;

@@ -33,6 +33,12 @@ enum class Stat : uint32_t {
   kVersionsCollected,
   kDeadlocksDetected,
   kLockWaits,
+  kSlabChunksAllocated,
+  kSlabMagazineHits,
+  kSlabMagazineMisses,
+  kSlabSlotsRecycled,
+  kTxnPoolHits,
+  kTxnPoolMisses,
   kNumStats,
 };
 
@@ -44,6 +50,8 @@ inline const char* StatName(Stat stat) {
       "commit_dep_waits",   "speculative_reads",  "speculative_ignores",
       "waitfor_deps_taken", "precommit_waits",    "versions_created",
       "versions_collected", "deadlocks_detected", "lock_waits",
+      "slab_chunks_allocated", "slab_magazine_hits", "slab_magazine_misses",
+      "slab_slots_recycled", "txn_pool_hits",     "txn_pool_misses",
   };
   return kNames[static_cast<uint32_t>(stat)];
 }

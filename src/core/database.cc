@@ -2,12 +2,14 @@
 
 namespace mvstore {
 
-Database::Database(DatabaseOptions options) : options_(options) {
+Database::Database(DatabaseOptions options)
+    : options_(options), txn_handle_pool_(options_.use_slab_allocator) {
   if (options_.scheme == Scheme::kSingleVersion) {
     SVEngineOptions sv;
     sv.lock_timeout_us = options_.lock_timeout_us;
     sv.log_mode = options_.log_mode;
     sv.log_path = options_.log_path;
+    sv.use_slab_allocator = options_.use_slab_allocator;
     sv_ = std::make_unique<SVEngine>(sv);
   } else {
     MVEngineOptions mv;
@@ -16,6 +18,7 @@ Database::Database(DatabaseOptions options) : options_(options) {
     mv.log_path = options_.log_path;
     mv.gc_interval_us = options_.gc_interval_us;
     mv.deadlock_interval_us = options_.deadlock_interval_us;
+    mv.use_slab_allocator = options_.use_slab_allocator;
     mv_ = std::make_unique<MVEngine>(mv);
   }
 }
@@ -33,20 +36,18 @@ uint32_t Database::PayloadSize(TableId table_id) {
 }
 
 Txn* Database::Begin(IsolationLevel isolation, bool read_only) {
-  Txn* txn = new Txn();
-  txn->isolation = isolation;
   if (mv_ != nullptr) {
     bool pessimistic = options_.scheme == Scheme::kMultiVersionLocking;
-    txn->mv = mv_->Begin(isolation, pessimistic, read_only);
-  } else {
-    txn->sv = sv_->Begin(isolation, read_only);
+    return txn_handle_pool_.Acquire(
+        mv_->Begin(isolation, pessimistic, read_only), nullptr, isolation);
   }
-  return txn;
+  return txn_handle_pool_.Acquire(nullptr, sv_->Begin(isolation, read_only),
+                                  isolation);
 }
 
 Status Database::Commit(Txn* txn) {
   Status s = txn->mv != nullptr ? mv_->Commit(txn->mv) : sv_->Commit(txn->sv);
-  delete txn;
+  ReleaseTxn(txn);
   return s;
 }
 
@@ -56,7 +57,7 @@ void Database::Abort(Txn* txn) {
   } else {
     sv_->Abort(txn->sv);
   }
-  delete txn;
+  ReleaseTxn(txn);
 }
 
 Status Database::Read(Txn* txn, TableId table_id, IndexId index_id,
@@ -64,7 +65,7 @@ Status Database::Read(Txn* txn, TableId table_id, IndexId index_id,
   Status s = txn->mv != nullptr
                  ? mv_->Read(txn->mv, table_id, index_id, key, out)
                  : sv_->Read(txn->sv, table_id, index_id, key, out);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
@@ -76,7 +77,7 @@ Status Database::Scan(Txn* txn, TableId table_id, IndexId index_id,
       txn->mv != nullptr
           ? mv_->Scan(txn->mv, table_id, index_id, key, residual, consumer)
           : sv_->Scan(txn->sv, table_id, index_id, key, residual, consumer);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
@@ -85,14 +86,14 @@ Status Database::ScanTable(Txn* txn, TableId table_id,
   Status s = txn->mv != nullptr
                  ? mv_->ScanTable(txn->mv, table_id, consumer)
                  : sv_->ScanTable(txn->sv, table_id, consumer);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
 Status Database::Insert(Txn* txn, TableId table_id, const void* payload) {
   Status s = txn->mv != nullptr ? mv_->Insert(txn->mv, table_id, payload)
                                 : sv_->Insert(txn->sv, table_id, payload);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
@@ -103,7 +104,7 @@ Status Database::Update(Txn* txn, TableId table_id, IndexId index_id,
       txn->mv != nullptr
           ? mv_->Update(txn->mv, table_id, index_id, key, mutator)
           : sv_->Update(txn->sv, table_id, index_id, key, mutator);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
@@ -112,7 +113,7 @@ Status Database::Delete(Txn* txn, TableId table_id, IndexId index_id,
   Status s = txn->mv != nullptr
                  ? mv_->Delete(txn->mv, table_id, index_id, key)
                  : sv_->Delete(txn->sv, table_id, index_id, key);
-  if (s.IsAborted()) delete txn;
+  if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 

@@ -24,6 +24,7 @@
 #include "cc/mv_engine.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "mem/object_pool.h"
 #include "storage/table.h"
 #include "sv/sv_engine.h"
 
@@ -44,14 +45,31 @@ struct DatabaseOptions {
 
   /// 1V engine: lock-wait timeout (deadlock breaking).
   uint64_t lock_timeout_us = 2000;
+
+  /// Memory subsystem (src/mem/): recycle version slots through per-table
+  /// slab allocators and transaction objects through pools, integrated with
+  /// epoch reclamation. Default on; turn off to route every allocation
+  /// through the global heap (ASan-style debugging, leak triage).
+  bool use_slab_allocator = true;
 };
 
 /// Opaque transaction handle; owned by the Database between Begin and
-/// Commit/Abort.
+/// Commit/Abort. Recycled through a pool (mem/object_pool.h) when the slab
+/// subsystem is on.
 struct Txn {
+  Txn(Transaction* mv_in, SVTransaction* sv_in, IsolationLevel isolation_in)
+      : mv(mv_in), sv(sv_in), isolation(isolation_in) {}
+
+  void Reset(Transaction* mv_in, SVTransaction* sv_in,
+             IsolationLevel isolation_in) {
+    mv = mv_in;
+    sv = sv_in;
+    isolation = isolation_in;
+  }
+
   Transaction* mv = nullptr;
   SVTransaction* sv = nullptr;
-  IsolationLevel isolation;
+  IsolationLevel isolation = IsolationLevel::kReadCommitted;
 };
 
 class Database {
@@ -109,9 +127,13 @@ class Database {
   SVEngine* sv_engine() { return sv_.get(); }
 
  private:
+  /// Release a finished handle back to the pool.
+  void ReleaseTxn(Txn* txn) { txn_handle_pool_.Release(txn); }
+
   DatabaseOptions options_;
   std::unique_ptr<MVEngine> mv_;
   std::unique_ptr<SVEngine> sv_;
+  ObjectPool<Txn> txn_handle_pool_;
 };
 
 }  // namespace mvstore

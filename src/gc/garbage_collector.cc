@@ -57,7 +57,9 @@ uint32_t GarbageCollector::Drain(Shard& shard, Timestamp watermark,
   }
   for (const Item& item : ready) {
     item.table->UnlinkFromAllIndexes(item.version);
-    epoch_.Retire(item.version, &Table::VersionDeleter);
+    // The deleter routes the slot back to the owning table's slab (or the
+    // heap in fallback mode) once no lock-free scan can still reach it.
+    epoch_.Retire(item.version, &Table::VersionDeleter, item.table);
     stats_.Add(Stat::kVersionsCollected);
   }
   pending_.fetch_sub(ready.size(), std::memory_order_relaxed);

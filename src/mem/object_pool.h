@@ -1,0 +1,158 @@
+// Object pool for transaction objects.
+//
+// MVEngine::Begin used to pay `new Transaction` (and the matching epoch-
+// deferred `delete`) per transaction -- a global-allocator round trip plus
+// the reallocation of every read/write/scan-set vector from scratch. The
+// pool recycles *constructed* objects instead: a released transaction keeps
+// its vectors' capacity, so a recycled Begin is a handful of stores.
+//
+// Requirements on T: `T(Args...)` constructs a fresh object and
+// `void Reset(Args...)` restores every field of a recycled one to its
+// just-constructed state -- the pool hands out recycled objects with no
+// other cleanup.
+//
+// Recycled objects circulate like slab slots (mem/slab_allocator.h): a
+// latch-free thread-local cache over a spin-latched global freelist. With
+// `enabled = false` the pool degrades to plain new/delete, the heap-debug
+// configuration (ASan sees every transaction boundary again).
+//
+// Safety: Release() makes the object immediately reusable by any thread.
+// For epoch-protected objects (MV transactions are dereferenced by
+// concurrent visibility checks), route Release through
+// EpochManager::Retire so no reader can still hold the pointer.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/port.h"
+#include "common/spin_latch.h"
+
+namespace mvstore {
+
+template <typename T>
+class ObjectPool {
+ public:
+  static constexpr uint32_t kCacheCapacity = 16;
+  static constexpr uint32_t kTransferBatch = kCacheCapacity / 2;
+
+  explicit ObjectPool(bool enabled, StatsCollector* stats = nullptr)
+      : enabled_(enabled),
+        pool_id_(next_pool_id_.fetch_add(1, std::memory_order_relaxed)),
+        stats_(stats) {}
+
+  /// Destroys every object the pool ever created, including ones still
+  /// acquired -- callers must have quiesced.
+  ~ObjectPool() {
+    for (T* obj : all_) delete obj;
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Hand out an object: recycled (Reset with `args`) when available,
+  /// freshly constructed otherwise.
+  template <typename... Args>
+  T* Acquire(Args&&... args) {
+    if (!enabled_) return new T(std::forward<Args>(args)...);
+    Cache& c = CacheForThisThread();
+    if (c.count > 0) {
+      if (stats_ != nullptr) stats_->Add(Stat::kTxnPoolHits);
+      T* obj = c.items[--c.count];
+      obj->Reset(std::forward<Args>(args)...);
+      return obj;
+    }
+    return AcquireSlow(c, std::forward<Args>(args)...);
+  }
+
+  /// Return an object for reuse. The object stays constructed (vector
+  /// capacities survive); the next Acquire re-arms it via Reset.
+  void Release(T* obj) {
+    if (!enabled_) {
+      delete obj;
+      return;
+    }
+    Cache& c = CacheForThisThread();
+    if (c.count == kCacheCapacity) {
+      SpinLatchGuard guard(latch_);
+      free_.insert(free_.end(), c.items, c.items + kTransferBatch);
+      std::copy(c.items + kTransferBatch, c.items + c.count, c.items);
+      c.count -= kTransferBatch;
+    }
+    c.items[c.count++] = obj;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  struct alignas(kCacheLineSize) Cache {
+    uint32_t count = 0;
+    T* items[kCacheCapacity];
+  };
+
+  /// Same registry trick as SlabAllocator::MagazineForThisThread: a
+  /// thread-local vector indexed by a never-reused pool id.
+  Cache& CacheForThisThread() {
+    thread_local std::vector<Cache*> tl_caches;
+    if (pool_id_ < tl_caches.size() && tl_caches[pool_id_] != nullptr) {
+      return *tl_caches[pool_id_];
+    }
+    auto owned = std::make_unique<Cache>();
+    Cache* c = owned.get();
+    {
+      SpinLatchGuard guard(latch_);
+      caches_.push_back(std::move(owned));
+    }
+    if (tl_caches.size() <= pool_id_) tl_caches.resize(pool_id_ + 1);
+    tl_caches[pool_id_] = c;
+    return *c;
+  }
+
+  template <typename... Args>
+  T* AcquireSlow(Cache& c, Args&&... args) {
+    T* recycled = nullptr;
+    {
+      SpinLatchGuard guard(latch_);
+      if (!free_.empty()) {
+        recycled = free_.back();
+        free_.pop_back();
+        uint32_t take = kTransferBatch - 1;
+        while (take > 0 && !free_.empty()) {
+          c.items[c.count++] = free_.back();
+          free_.pop_back();
+          --take;
+        }
+      }
+    }
+    if (recycled != nullptr) {
+      if (stats_ != nullptr) stats_->Add(Stat::kTxnPoolHits);
+      recycled->Reset(std::forward<Args>(args)...);
+      return recycled;
+    }
+    if (stats_ != nullptr) stats_->Add(Stat::kTxnPoolMisses);
+    T* obj = new T(std::forward<Args>(args)...);
+    {
+      SpinLatchGuard guard(latch_);
+      all_.push_back(obj);
+    }
+    return obj;
+  }
+
+  inline static std::atomic<uint32_t> next_pool_id_{0};
+
+  const bool enabled_;
+  const uint32_t pool_id_;
+  StatsCollector* const stats_;
+
+  SpinLatch latch_;
+  std::vector<T*> free_;
+  std::vector<T*> all_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+}  // namespace mvstore

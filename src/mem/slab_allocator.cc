@@ -1,0 +1,98 @@
+#include "mem/slab_allocator.h"
+
+#include <algorithm>
+#include <new>
+
+namespace mvstore {
+
+namespace {
+/// Allocator ids are process-unique and never reused, so stale entries in a
+/// thread's magazine registry can never alias a live allocator.
+std::atomic<uint32_t> next_allocator_id{0};
+}  // namespace
+
+SlabAllocator::SlabAllocator(size_t slot_size, StatsCollector* stats)
+    : slot_size_((std::max(slot_size, sizeof(void*)) + kSlotAlign - 1) &
+                 ~(kSlotAlign - 1)),
+      chunk_bytes_(std::max(kMinChunkBytes,
+                            slot_size_ * static_cast<size_t>(kTransferBatch))),
+      allocator_id_(next_allocator_id.fetch_add(1, std::memory_order_relaxed)),
+      stats_(stats) {}
+
+SlabAllocator::~SlabAllocator() {
+  for (auto& m : magazines_) FlushLocalStats(*m);
+  for (void* chunk : chunks_) ::operator delete(chunk);
+}
+
+SlabAllocator::Magazine& SlabAllocator::RegisterThread(
+    std::vector<Magazine*>& registry) {
+  auto owned = std::make_unique<Magazine>();
+  Magazine* m = owned.get();
+  {
+    SpinLatchGuard guard(latch_);
+    magazines_.push_back(std::move(owned));
+  }
+  if (registry.size() <= allocator_id_) registry.resize(allocator_id_ + 1);
+  registry[allocator_id_] = m;
+  return *m;
+}
+
+void SlabAllocator::NewChunkLocked() {
+  void* chunk = ::operator new(chunk_bytes_);
+  chunks_.push_back(chunk);
+  bump_ = static_cast<char*>(chunk);
+  bump_end_ = bump_ + (chunk_bytes_ / slot_size_) * slot_size_;
+  chunks_allocated_.fetch_add(1, std::memory_order_relaxed);
+  if (stats_ != nullptr) stats_->Add(Stat::kSlabChunksAllocated);
+}
+
+void* SlabAllocator::AllocateSlow(Magazine& m) {
+  FlushLocalStats(m);
+  if (stats_ != nullptr) stats_->Add(Stat::kSlabMagazineMisses);
+  uint32_t filled = 0;
+  {
+    SpinLatchGuard guard(latch_);
+    // Recycled slots first: they are warm and bound memory growth.
+    while (filled < kTransferBatch && !spine_.empty()) {
+      m.slots[filled++] = spine_.back();
+      spine_.pop_back();
+    }
+    // Top up from the bump region of the newest chunk.
+    while (filled < kTransferBatch) {
+      if (bump_ == bump_end_) NewChunkLocked();
+      m.slots[filled++] = bump_;
+      bump_ += slot_size_;
+    }
+  }
+  m.count = filled - 1;
+  return m.slots[filled - 1];
+}
+
+void SlabAllocator::FlushMagazine(Magazine& m) {
+  // The magazine is a stack: hand the cold bottom half to the spine and
+  // slide the hot top half down.
+  {
+    SpinLatchGuard guard(latch_);
+    spine_.insert(spine_.end(), m.slots, m.slots + kTransferBatch);
+  }
+  std::copy(m.slots + kTransferBatch, m.slots + m.count, m.slots);
+  m.count -= kTransferBatch;
+}
+
+void SlabAllocator::FlushLocalStats(Magazine& m) {
+  if (stats_ == nullptr) {
+    m.hits = 0;
+    m.recycled = 0;
+    return;
+  }
+  if (m.hits > 0) {
+    stats_->Add(Stat::kSlabMagazineHits, m.hits);
+    m.hits = 0;
+  }
+  if (m.recycled > 0) {
+    stats_->Add(Stat::kSlabSlotsRecycled, m.recycled);
+    m.recycled = 0;
+  }
+}
+
+}  // namespace mvstore

@@ -1,0 +1,147 @@
+// Slab allocation of fixed-size slots with thread-local magazine caches.
+//
+// The paper's performance claim is that the only shared critical section in
+// the MV engine is one atomic timestamp increment (Section 6). Paying a
+// global `::operator new` / `::operator delete` round trip per version would
+// reintroduce an allocator lock on every update, so versions (and
+// transaction objects, see mem/object_pool.h) are recycled through slabs
+// instead, the way Hekaton recycles fixed-size version slots through its
+// epoch machinery.
+//
+// Layout: one allocator per fixed slot size (per table: a version's size is
+// determined by the table's index count and payload size). Slots are carved
+// out of large chunks and never returned to the OS until the allocator dies;
+// freed slots circulate through three tiers:
+//
+//   thread-local magazine  --  array of slot pointers, touched only by its
+//                              owning thread: the hot path is latch-free
+//   global freelist spine  --  spin-latched; magazines refill from / flush
+//                              to it in half-magazine batches
+//   chunk bump region      --  fresh slots, carved under the same latch
+//
+// Frees may come from any thread (GC and epoch reclamation run wherever
+// retirement happens); a slot freed on thread A enters A's magazine and
+// migrates to other threads through the spine.
+//
+// Safety: a slot handed back via Free() may be handed out again by the next
+// Allocate() with no quarantine. Callers must ensure no concurrent reader
+// can still dereference the slot -- in the engine this is exactly what
+// epoch-based reclamation guarantees (versions reach Free() only through
+// EpochManager::Retire / unpublished-version paths).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/port.h"
+#include "common/spin_latch.h"
+
+namespace mvstore {
+
+class SlabAllocator {
+ public:
+  /// Slots per magazine. Sized so a magazine (one cache-line-aligned block
+  /// of pointers) absorbs a transaction's worth of churn without touching
+  /// the spine latch.
+  static constexpr uint32_t kMagazineCapacity = 64;
+  /// Refill/flush batch: half a magazine, so a freshly refilled thread can
+  /// absorb a burst of frees (and vice versa) before taking the latch again.
+  static constexpr uint32_t kTransferBatch = kMagazineCapacity / 2;
+  /// Every slot is aligned to this (chunks come max-aligned from
+  /// ::operator new and slot sizes are rounded up to a multiple).
+  static constexpr size_t kSlotAlign = 16;
+  /// Chunks are at least this large (and always hold >= kTransferBatch
+  /// slots) so chunk allocation stays rare.
+  static constexpr size_t kMinChunkBytes = 64 * 1024;
+  /// Local hit/recycle tallies are folded into the StatsCollector every
+  /// (kStatsFlushMask + 1) events, keeping the hot path free of shared
+  /// atomics while bounding counter staleness.
+  static constexpr uint64_t kStatsFlushMask = 1023;
+
+  /// `stats` may be nullptr (no counter export). The allocator hands out
+  /// slots of exactly `slot_size` bytes rounded up to kSlotAlign.
+  explicit SlabAllocator(size_t slot_size, StatsCollector* stats = nullptr);
+  ~SlabAllocator();
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Get one slot. Hot path: pop from this thread's magazine, no latch.
+  void* Allocate() {
+    Magazine& m = MagazineForThisThread();
+    if (m.count > 0) {
+      if (((++m.hits) & kStatsFlushMask) == 0) FlushLocalStats(m);
+      return m.slots[--m.count];
+    }
+    return AllocateSlow(m);
+  }
+
+  /// Return one slot. Hot path: push onto this thread's magazine.
+  void Free(void* slot) {
+    Magazine& m = MagazineForThisThread();
+    if (m.count == kMagazineCapacity) FlushMagazine(m);
+    if (((++m.recycled) & kStatsFlushMask) == 0) FlushLocalStats(m);
+    m.slots[m.count++] = slot;
+  }
+
+  size_t slot_size() const { return slot_size_; }
+
+  /// Chunks carved so far (for tests; exact).
+  uint64_t chunks_allocated() const {
+    return chunks_allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Magazine {
+    uint32_t count = 0;
+    /// Local stat tallies, folded into stats_ on slow paths / periodically.
+    uint64_t hits = 0;
+    uint64_t recycled = 0;
+    void* slots[kMagazineCapacity];
+  };
+
+  /// This thread's magazine for this allocator. The registry is a plain
+  /// thread-local vector indexed by a process-unique allocator id, so the
+  /// steady-state lookup is one bounds check + load (no hashing). Entries
+  /// for destroyed allocators go stale but are never revisited: ids are
+  /// never reused.
+  Magazine& MagazineForThisThread() {
+    thread_local std::vector<Magazine*> tl_magazines;
+    if (allocator_id_ < tl_magazines.size() &&
+        tl_magazines[allocator_id_] != nullptr) {
+      return *tl_magazines[allocator_id_];
+    }
+    return RegisterThread(tl_magazines);
+  }
+
+  Magazine& RegisterThread(std::vector<Magazine*>& registry);
+  void* AllocateSlow(Magazine& m);
+  void FlushMagazine(Magazine& m);
+  void FlushLocalStats(Magazine& m);
+  /// Carve a new chunk. Caller holds latch_.
+  void NewChunkLocked();
+
+  const size_t slot_size_;
+  const size_t chunk_bytes_;
+  const uint32_t allocator_id_;
+  StatsCollector* const stats_;
+
+  SpinLatch latch_;
+  /// Global freelist spine (latched).
+  std::vector<void*> spine_;
+  /// All chunks ever carved; freed wholesale at destruction.
+  std::vector<void*> chunks_;
+  /// Bump region of the newest chunk.
+  char* bump_ = nullptr;
+  char* bump_end_ = nullptr;
+  /// Magazines owned by this allocator (one per registered thread).
+  std::vector<std::unique_ptr<Magazine>> magazines_;
+
+  std::atomic<uint64_t> chunks_allocated_{0};
+};
+
+}  // namespace mvstore

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/types.h"
+#include "mem/slab_allocator.h"
 #include "storage/hash_index.h"
 #include "storage/version.h"
 
@@ -35,13 +37,31 @@ struct TableDef {
   std::vector<IndexDef> indexes;
 };
 
+/// How a table's versions are allocated. With `use_slab` a per-table
+/// SlabAllocator recycles fixed-size version slots (every version of a
+/// table has the same size: header + chain pointers + payload); otherwise
+/// each version is a global-heap allocation (the debug-friendly fallback:
+/// ASan sees every version's lifetime).
+struct TableMemoryOptions {
+  bool use_slab = false;
+  StatsCollector* stats = nullptr;
+};
+
 class Table {
  public:
-  Table(TableId id, TableDef def) : id_(id), def_(std::move(def)) {
+  using MemoryOptions = TableMemoryOptions;
+
+  Table(TableId id, TableDef def, MemoryOptions mem = {})
+      : id_(id), def_(std::move(def)) {
     indexes_.reserve(def_.indexes.size());
     for (uint32_t i = 0; i < def_.indexes.size(); ++i) {
       indexes_.push_back(std::make_unique<HashIndex>(
           i, def_.indexes[i].bucket_count, def_.indexes[i].extractor));
+    }
+    static_assert(alignof(Version) <= SlabAllocator::kSlotAlign);
+    if (mem.use_slab) {
+      slab_ = std::make_unique<SlabAllocator>(
+          Version::AllocSize(num_indexes(), payload_size()), mem.stats);
     }
   }
 
@@ -58,19 +78,35 @@ class Table {
   const IndexDef& index_def(IndexId i) const { return def_.indexes[i]; }
 
   /// Allocate a fresh, not-yet-visible version holding a copy of `payload`
-  /// (may be nullptr to leave the payload uninitialized).
+  /// (may be nullptr to leave the payload uninitialized). Slot memory may be
+  /// recycled; Version::Create placement-initializes every header field.
   Version* AllocateVersion(const void* payload) {
     void* storage =
-        ::operator new(Version::AllocSize(num_indexes(), payload_size()));
+        slab_ != nullptr
+            ? slab_->Allocate()
+            : ::operator new(Version::AllocSize(num_indexes(), payload_size()));
     return Version::Create(storage, num_indexes(), payload_size(), payload);
   }
 
   /// Immediately free a version that was never published to any index.
   /// Published versions must instead be unlinked and epoch-retired.
-  static void FreeUnpublishedVersion(Version* v) { ::operator delete(v); }
+  void FreeUnpublishedVersion(Version* v) {
+    if (slab_ != nullptr) {
+      slab_->Free(v);
+    } else {
+      ::operator delete(v);
+    }
+  }
 
-  /// Deleter suitable for EpochManager::Retire.
-  static void VersionDeleter(void* v) { ::operator delete(v); }
+  /// Deleter for EpochManager::Retire; `table_arg` is the owning Table*, so
+  /// the slot returns to that table's slab (or the heap in fallback mode).
+  static void VersionDeleter(void* v, void* table_arg) {
+    static_cast<Table*>(table_arg)->FreeUnpublishedVersion(
+        static_cast<Version*>(v));
+  }
+
+  /// The table's slab, or nullptr in heap mode (tests/benchmarks).
+  SlabAllocator* slab() { return slab_.get(); }
 
   /// Insert `v` into every index of the table.
   void InsertIntoAllIndexes(Version* v) {
@@ -86,15 +122,20 @@ class Table {
   const TableId id_;
   const TableDef def_;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::unique_ptr<SlabAllocator> slab_;
 };
 
 /// Catalog: id -> table. Tables are created before workers start and live
 /// for the database lifetime, so lookups are unsynchronized.
 class Catalog {
  public:
+  /// Version-allocation policy for tables created after this call. Engines
+  /// configure this once at construction, before any CreateTable.
+  void ConfigureMemory(Table::MemoryOptions mem) { mem_ = mem; }
+
   TableId CreateTable(TableDef def) {
     TableId id = static_cast<TableId>(tables_.size());
-    tables_.push_back(std::make_unique<Table>(id, std::move(def)));
+    tables_.push_back(std::make_unique<Table>(id, std::move(def), mem_));
     return id;
   }
 
@@ -111,6 +152,7 @@ class Catalog {
 
  private:
   std::vector<std::unique_ptr<Table>> tables_;
+  Table::MemoryOptions mem_{};
 };
 
 }  // namespace mvstore

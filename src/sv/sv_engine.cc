@@ -6,7 +6,11 @@
 
 namespace mvstore {
 
-SVEngine::SVEngine(SVEngineOptions options) : options_(options) {
+SVEngine::SVEngine(SVEngineOptions options)
+    : options_(options),
+      txn_pool_(options_.use_slab_allocator, &stats_) {
+  catalog_.ConfigureMemory(
+      Table::MemoryOptions{options_.use_slab_allocator, &stats_});
   LogSink* sink = nullptr;
   if (options_.log_mode != LogMode::kDisabled) {
     sink = options_.log_path.empty()
@@ -26,7 +30,7 @@ SVEngine::~SVEngine() {
       rows.push_back(v);
       return true;
     });
-    for (Version* v : rows) Table::FreeUnpublishedVersion(v);
+    for (Version* v : rows) table.FreeUnpublishedVersion(v);
   }
 }
 
@@ -48,8 +52,8 @@ SVTransaction* SVEngine::Begin(IsolationLevel isolation, bool read_only) {
   if (isolation == IsolationLevel::kSnapshot) {
     isolation = IsolationLevel::kRepeatableRead;
   }
-  return new SVTransaction(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
-                           isolation);
+  return txn_pool_.Acquire(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed), isolation);
 }
 
 Status SVEngine::AcquireLock(SVTransaction* txn, SVLockTable& locks,
@@ -197,7 +201,7 @@ Status SVEngine::Insert(SVTransaction* txn, TableId table_id,
     Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
                             k, /*exclusive=*/true, nullptr);
     if (!s2.ok()) {
-      Table::FreeUnpublishedVersion(row);
+      table.FreeUnpublishedVersion(row);
       return DoAbort(txn, s2.abort_reason());
     }
   }
@@ -312,12 +316,12 @@ Status SVEngine::Commit(SVTransaction* txn) {
   // may still traverse them, so retire through the epoch manager.
   for (const auto& u : txn->undo) {
     if (u.op == SVTransaction::UndoOp::kDelete) {
-      epoch_.Retire(u.row, &Table::VersionDeleter);
+      epoch_.Retire(u.row, &Table::VersionDeleter, u.table);
     }
   }
   ReleaseAllLocks(txn);
   stats_.Add(Stat::kTxnCommitted);
-  delete txn;
+  txn_pool_.Release(txn);
   return Status::OK();
 }
 
@@ -327,7 +331,7 @@ Status SVEngine::DoAbort(SVTransaction* txn, AbortReason reason) {
     switch (it->op) {
       case SVTransaction::UndoOp::kInsert:
         it->table->UnlinkFromAllIndexes(it->row);
-        epoch_.Retire(it->row, &Table::VersionDeleter);
+        epoch_.Retire(it->row, &Table::VersionDeleter, it->table);
         break;
       case SVTransaction::UndoOp::kUpdate:
         std::memcpy(it->row->Payload(), it->before.data(),
@@ -343,7 +347,7 @@ Status SVEngine::DoAbort(SVTransaction* txn, AbortReason reason) {
   if (reason == AbortReason::kLockTimeout || reason == AbortReason::kDeadlock) {
     stats_.Add(Stat::kAbortDeadlock);
   }
-  delete txn;
+  txn_pool_.Release(txn);
   return Status::Aborted(reason);
 }
 

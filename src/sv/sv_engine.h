@@ -36,6 +36,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "log/logger.h"
+#include "mem/object_pool.h"
 #include "storage/table.h"
 #include "sv/lock_table.h"
 #include "util/epoch.h"
@@ -47,6 +48,9 @@ struct SVEngineOptions {
   uint64_t lock_timeout_us = 2000;
   LogMode log_mode = LogMode::kAsync;
   std::string log_path;
+  /// Recycle row slots through per-table slabs and transaction objects
+  /// through a pool (mem/); off = plain heap (debug fallback).
+  bool use_slab_allocator = true;
 };
 
 /// Single-version transaction handle.
@@ -55,8 +59,18 @@ class SVTransaction {
   SVTransaction(TxnId id, IsolationLevel isolation)
       : id(id), isolation(isolation) {}
 
-  const TxnId id;
-  const IsolationLevel isolation;
+  /// Re-arm a recycled handle (mem/object_pool.h); lock/undo vectors keep
+  /// their capacity. Only the owning thread ever touches an SV handle, so
+  /// recycling needs no epoch deferral.
+  void Reset(TxnId new_id, IsolationLevel new_isolation) {
+    id = new_id;
+    isolation = new_isolation;
+    locks.clear();
+    undo.clear();
+  }
+
+  TxnId id = 0;
+  IsolationLevel isolation = IsolationLevel::kReadCommitted;
 
   struct LockEntry {
     KeyLock* lock;
@@ -140,11 +154,14 @@ class SVEngine {
   Status DoAbort(SVTransaction* txn, AbortReason reason);
 
   SVEngineOptions options_;
+  /// stats_ precedes catalog_ and txn_pool_: table slabs and the pool flush
+  /// local counters into it on destruction.
+  StatsCollector stats_;
   Catalog catalog_;
+  ObjectPool<SVTransaction> txn_pool_;
   std::vector<std::unique_ptr<SVLockTable>> lock_tables_;  // [table][index]
   std::vector<uint32_t> lock_table_base_;  // table id -> first lock table
   EpochManager epoch_;
-  StatsCollector stats_;
   std::unique_ptr<Logger> logger_;
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<Timestamp> commit_clock_{0};

@@ -12,8 +12,8 @@
 //  * the read/scan/write/bucket-lock sets (Sections 3, 4).
 //
 // Other transactions dereference this object during visibility checks, so it
-// is freed only through the epoch manager after removal from the
-// transaction table.
+// is released (to the engine's transaction pool, or the heap in debug mode)
+// only through the epoch manager after removal from the transaction table.
 #pragma once
 
 #include <atomic>
@@ -102,15 +102,47 @@ class Transaction {
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 
+  /// Re-arm a recycled transaction object (mem/object_pool.h) as if freshly
+  /// constructed. Set vectors keep their capacity -- that is the point of
+  /// pooling. Reuse happens only after epoch reclamation, so no concurrent
+  /// reader can hold this pointer: relaxed stores suffice (publication to
+  /// other threads goes through the txn table's latch).
+  void Reset(TxnId new_id, IsolationLevel new_isolation, bool new_pessimistic,
+             bool new_read_only) {
+    id = new_id;
+    isolation = new_isolation;
+    pessimistic = new_pessimistic;
+    read_only = new_read_only;
+    state.store(TxnState::kActive, std::memory_order_relaxed);
+    begin_ts.store(0, std::memory_order_relaxed);
+    end_ts.store(0, std::memory_order_relaxed);
+    commit_dep_counter.store(0, std::memory_order_relaxed);
+    abort_now.store(false, std::memory_order_relaxed);
+    kill_reason.store(AbortReason::kNone, std::memory_order_relaxed);
+    commit_dep_set.clear();
+    deps_drained = false;
+    wait_for_counter.store(0, std::memory_order_relaxed);
+    no_more_wait_fors.store(false, std::memory_order_relaxed);
+    waiting_txn_list.clear();
+    waiting_drained = false;
+    blocked.store(false, std::memory_order_relaxed);
+    read_set.clear();
+    scan_set.clear();
+    write_set.clear();
+    bucket_lock_set.clear();
+    // wake_events deliberately survives: it is a monotonic event counter and
+    // no waiter can exist across a recycle.
+  }
+
   /// --- identity / phase ----------------------------------------------------
 
-  const TxnId id;
-  const IsolationLevel isolation;
+  TxnId id = 0;
+  IsolationLevel isolation = IsolationLevel::kReadCommitted;
   /// True for MV/L transactions; false for MV/O. Mixed workloads are allowed
   /// (Section 4.5).
-  const bool pessimistic;
+  bool pessimistic = false;
   /// Hint only: read-only transactions skip write-side bookkeeping.
-  const bool read_only;
+  bool read_only = false;
 
   std::atomic<TxnState> state{TxnState::kActive};
   std::atomic<Timestamp> begin_ts{0};

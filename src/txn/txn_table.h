@@ -46,14 +46,29 @@ class TxnTable {
     return it == p.map.end() ? nullptr : it->second;
   }
 
-  /// Snapshot of all live transactions. Used by the deadlock detector and
-  /// the GC watermark; pointers are valid under the caller's EpochGuard.
-  std::vector<Transaction*> Snapshot() {
-    std::vector<Transaction*> out;
+  /// Visit every live transaction, allocation-free. `fn` runs under the
+  /// partition latch: keep it tiny and never call back into this table.
+  /// Pointers are valid under the caller's EpochGuard.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
     for (auto& p : partitions_) {
       SpinLatchGuard guard(p.latch);
-      for (auto& [id, txn] : p.map) out.push_back(txn);
+      for (auto& [id, txn] : p.map) fn(txn);
     }
+  }
+
+  /// Snapshot all live transactions into `out` (cleared; capacity reused).
+  /// Periodic scanners (deadlock detector) hold a scratch vector so the pass
+  /// is allocation-free in steady state.
+  void SnapshotInto(std::vector<Transaction*>& out) {
+    out.clear();
+    ForEach([&](Transaction* txn) { out.push_back(txn); });
+  }
+
+  /// Snapshot of all live transactions (allocating convenience form).
+  std::vector<Transaction*> Snapshot() {
+    std::vector<Transaction*> out;
+    SnapshotInto(out);
     return out;
   }
 
@@ -61,16 +76,14 @@ class TxnTable {
   /// Every version with end timestamp below this can never be seen again
   /// (GC watermark, Section 2.3). A transaction published with begin_ts
   /// still 0 (the Begin() window) pins the watermark at 0: nothing may be
-  /// reclaimed until its timestamp is known.
+  /// reclaimed until its timestamp is known. Allocation-free: this runs on
+  /// every watermark refresh.
   Timestamp MinActiveBeginTs(Timestamp fallback) {
     Timestamp min_ts = fallback;
-    for (auto& p : partitions_) {
-      SpinLatchGuard guard(p.latch);
-      for (auto& [id, txn] : p.map) {
-        Timestamp b = txn->begin_ts.load(std::memory_order_acquire);
-        if (b < min_ts) min_ts = b;
-      }
-    }
+    ForEach([&](Transaction* txn) {
+      Timestamp b = txn->begin_ts.load(std::memory_order_acquire);
+      if (b < min_ts) min_ts = b;
+    });
     return min_ts;
   }
 

@@ -61,11 +61,11 @@ uint64_t EpochManager::MinActiveEpoch() const {
   return min_epoch;
 }
 
-void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+void EpochManager::Retire(void* object, Deleter deleter, void* arg) {
   uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
   {
     SpinLatchGuard guard(retired_latch_);
-    retired_.push_back(Retired{object, deleter, epoch});
+    retired_.push_back(Retired{object, deleter, arg, epoch});
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
   if (retire_ticker_.fetch_add(1, std::memory_order_relaxed) %
@@ -93,7 +93,7 @@ void EpochManager::TryAdvanceAndReclaim() {
     }
     retired_.resize(kept);
   }
-  for (const Retired& r : to_free) r.deleter(r.object);
+  for (const Retired& r : to_free) r.deleter(r.object, r.arg);
   pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
 }
 
@@ -103,7 +103,7 @@ void EpochManager::DrainAll() {
     SpinLatchGuard guard(retired_latch_);
     to_free.swap(retired_);
   }
-  for (const Retired& r : to_free) r.deleter(r.object);
+  for (const Retired& r : to_free) r.deleter(r.object, r.arg);
   pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
 }
 

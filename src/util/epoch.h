@@ -54,14 +54,20 @@ class EpochManager {
   /// Leave a protected region.
   void Exit();
 
+  /// Deleter invoked once the object is unreachable. `arg` is the context
+  /// captured at Retire time -- typically the owning allocator (a Table's
+  /// slab, a transaction pool), so recycled memory returns to its slab
+  /// instead of the global heap.
+  using Deleter = void (*)(void* object, void* arg);
+
   /// Defer destruction of `object` until no reader can reach it. The deleter
   /// runs on whichever thread performs the reclamation pass.
-  void Retire(void* object, void (*deleter)(void*));
+  void Retire(void* object, Deleter deleter, void* arg = nullptr);
 
   /// Convenience: retire an object allocated with `new T`.
   template <typename T>
   void RetireObject(T* object) {
-    Retire(object, [](void* p) { delete static_cast<T*>(p); });
+    Retire(object, [](void* p, void*) { delete static_cast<T*>(p); });
   }
 
   /// Try to advance the global epoch and reclaim everything reclaimable.
@@ -82,7 +88,8 @@ class EpochManager {
  private:
   struct Retired {
     void* object;
-    void (*deleter)(void*);
+    Deleter deleter;
+    void* arg;
     uint64_t epoch;
   };
 

@@ -38,7 +38,7 @@ class HashIndexTest : public ::testing::Test {
   }
 
   ~HashIndexTest() override {
-    for (Version* v : versions_) Table::FreeUnpublishedVersion(v);
+    for (Version* v : versions_) table_.FreeUnpublishedVersion(v);
   }
 
   Table table_;

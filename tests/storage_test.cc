@@ -79,7 +79,7 @@ TEST(TableTest, MultiIndexInsertAndUnlink) {
   table.UnlinkFromAllIndexes(v);
   EXPECT_EQ(table.index(0).CountEntries(), 0u);
   EXPECT_EQ(table.index(1).CountEntries(), 0u);
-  Table::FreeUnpublishedVersion(v);
+  table.FreeUnpublishedVersion(v);
 }
 
 TEST(TableTest, AllocateWithNullPayloadLeavesUninitialized) {
@@ -90,7 +90,7 @@ TEST(TableTest, AllocateWithNullPayloadLeavesUninitialized) {
   Table table(0, def);
   Version* v = table.AllocateVersion(nullptr);
   ASSERT_NE(v, nullptr);
-  Table::FreeUnpublishedVersion(v);
+  table.FreeUnpublishedVersion(v);
 }
 
 TEST(CatalogTest, CreateAndLookup) {

@@ -34,7 +34,7 @@ class VisibilityTest : public ::testing::Test {
   }
 
   ~VisibilityTest() override {
-    for (Version* v : versions_) Table::FreeUnpublishedVersion(v);
+    for (Version* v : versions_) table_.FreeUnpublishedVersion(v);
     for (Transaction* t : txns_) delete t;
   }
 
