@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Markdown lint + intra-repo link check for the documentation suite.
+
+Checked files: README.md and docs/*.md. Stdlib only (runs anywhere CI can
+run python3). Failures:
+
+  * a relative link whose target file does not exist;
+  * a fragment link (#anchor) whose heading does not exist in the target,
+    using GitHub's heading slugification;
+  * unbalanced code fences;
+  * ATX headings without a space after the hashes (render as plain text);
+  * trailing whitespace (hard line breaks nobody intended).
+
+External links (http/https/mailto) are not fetched.
+
+Usage: python3 scripts/check_docs.py  (exit 0 = clean)
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})(.*)$")
+BAD_HEADING_RE = re.compile(r"^#{1,6}[^#\s]")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, spaces to dashes."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code_fences(lines):
+    """Yield (lineno, line) outside fenced code blocks; count fences."""
+    fences = 0
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            fences += 1
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield lineno, line
+    if in_fence:
+        yield 0, None  # sentinel: unbalanced
+    return
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for _, line in strip_code_fences(lines):
+        if line is None:
+            continue
+        m = HEADING_RE.match(line)
+        if m and (m.group(2).startswith(" ") or m.group(2) == ""):
+            anchors.add(slugify(m.group(2)))
+    return anchors
+
+
+def check_file(path: Path, errors: list):
+    rel = path.relative_to(REPO)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    body = list(strip_code_fences(lines))
+    if any(line is None for _, line in body):
+        errors.append(f"{rel}: unbalanced code fence (```)")
+        body = [(n, l) for n, l in body if l is not None]
+
+    for lineno, line in body:
+        if line.rstrip() != line:
+            errors.append(f"{rel}:{lineno}: trailing whitespace")
+        if BAD_HEADING_RE.match(line):
+            errors.append(f"{rel}:{lineno}: ATX heading needs a space after '#'")
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, fragment = target.partition("#")
+            dest = path if not file_part else (path.parent / file_part).resolve()
+            if file_part and not dest.exists():
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if slugify(fragment) not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor -> {target}")
+
+
+def main() -> int:
+    docs = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    errors = []
+    for path in docs:
+        check_file(path, errors)
+    for error in errors:
+        print(f"error: {error}")
+    print(f"check_docs: {len(docs)} files, {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,13 +39,13 @@ MVEngine::MVEngine(MVEngineOptions options)
     : options_(options),
       txn_pool_(options_.use_slab_allocator, &stats_) {
   catalog_.ConfigureMemory(
-      Table::MemoryOptions{options_.use_slab_allocator, &stats_});
+      Table::MemoryOptions{options_.use_slab_allocator, &stats_, &epoch_});
   LogSink* sink = nullptr;
   if (options_.log_mode != LogMode::kDisabled) {
     if (options_.log_path.empty()) {
       sink = new NullLogSink();
     } else {
-      sink = new FileLogSink(options_.log_path);
+      sink = new FileLogSink(options_.log_path, options_.fsync_log);
     }
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink);
@@ -369,12 +369,12 @@ Status MVEngine::ImposePhantomDependency(Transaction* txn, Version* v) {
         CpuRelax();
         continue;
       case TxnState::kCommitted: {
-        Timestamp ts = tb->end_ts.load(std::memory_order_acquire);
+        Timestamp ts = AwaitEndTimestamp(tb);
         return ts > read_time ? Status::Aborted(AbortReason::kPhantom)
                               : Status::OK();
       }
       case TxnState::kPreparing: {
-        Timestamp ts = tb->end_ts.load(std::memory_order_acquire);
+        Timestamp ts = AwaitEndTimestamp(tb);
         // ts < read_time would have made the version speculatively visible,
         // so here ts > read_time: the inserter is already past its barrier
         // and will commit into our scan range.
@@ -431,7 +431,7 @@ Status MVEngine::TakeBucketLockDependencies(Transaction* txn,
 /// Scans and point operations
 /// ---------------------------------------------------------------------------
 
-Version* MVEngine::FindVisible(Transaction* txn, Table& /*table*/, HashIndex& index,
+Version* MVEngine::FindVisible(Transaction* txn, Table& table, IndexId index_id,
                                uint64_t key, Timestamp read_time,
                                const Predicate& residual, Status* status) {
   *status = Status::OK();
@@ -439,8 +439,8 @@ Version* MVEngine::FindVisible(Transaction* txn, Table& /*table*/, HashIndex& in
   Version* found = nullptr;
   bool serializable_pessimistic =
       txn->pessimistic && txn->isolation == IsolationLevel::kSerializable;
-  index.ScanBucket(key, [&](Version* v) {
-    if (index.KeyOf(v) != key) return true;
+  auto probe = [&](Version* v) {
+    if (table.IndexKeyOf(index_id, v) != key) return true;
     if (residual && !residual(v->Payload())) return true;
     VisibilityResult vis = CheckVisibility(ctx, v, read_time);
     if (vis.must_abort) {
@@ -459,7 +459,8 @@ Version* MVEngine::FindVisible(Transaction* txn, Table& /*table*/, HashIndex& in
     }
     found = v;
     return false;
-  });
+  };
+  table.ScanIndexKey(index_id, key, probe);
   return found;
 }
 
@@ -470,6 +471,12 @@ Status MVEngine::Scan(Transaction* txn, TableId table_id, IndexId index_id,
     return DoAbort(txn, KillReason(txn));
   }
   Table& table = catalog_.table(table_id);
+  if (table.ordered_index(index_id) != nullptr) {
+    // Equality probe on the ordered access path: a degenerate range. Phantom
+    // protection comes from the range machinery (precommit rescan), not
+    // bucket locks — ordered nodes have no bucket lock word.
+    return ScanRange(txn, table_id, index_id, key, key, residual, consumer);
+  }
   HashIndex& index = table.index(index_id);
   EpochGuard guard(epoch_);
 
@@ -509,6 +516,64 @@ Status MVEngine::Scan(Transaction* txn, TableId table_id, IndexId index_id,
       return true;
     }
     // Read version: track / lock according to scheme + isolation.
+    if (txn->pessimistic) {
+      if (repeatable) {
+        bool locked = false;
+        Status s = AcquireReadLock(txn, v, &locked);
+        if (!s.ok()) {
+          result = s;
+          return false;
+        }
+        if (locked) txn->AddRead(v, true);
+      }
+    } else if (repeatable) {
+      txn->AddRead(v, false);
+    }
+    return consumer(v->Payload());
+  });
+
+  if (!result.ok() && result.IsAborted()) {
+    return DoAbort(txn, result.abort_reason());
+  }
+  return result;
+}
+
+Status MVEngine::ScanRange(Transaction* txn, TableId table_id,
+                           IndexId index_id, uint64_t lo, uint64_t hi,
+                           const Predicate& residual,
+                           const ScanConsumer& consumer) {
+  if (txn->abort_now.load(std::memory_order_acquire)) {
+    return DoAbort(txn, KillReason(txn));
+  }
+  Table& table = catalog_.table(table_id);
+  OrderedIndex* index = table.ordered_index(index_id);
+  if (index == nullptr) return Status::InvalidArgument();
+  EpochGuard guard(epoch_);
+
+  Timestamp read_time = ReadTime(txn);
+  const bool serializable = txn->isolation == IsolationLevel::kSerializable;
+  const bool repeatable =
+      serializable || txn->isolation == IsolationLevel::kRepeatableRead;
+
+  // Phantom protection: the range joins the transaction's read footprint
+  // and is revalidated by rescan at precommit — for MV/L too, since bucket
+  // locks cannot cover a key interval. (Declared-read-only transactions ran
+  // through the Snapshot downgrade at Begin and never register ranges.)
+  if (serializable) {
+    txn->AddRangeScan(&table, index, lo, hi, residual);
+  }
+
+  VisibilityContext ctx = VisCtx(txn, VisibilityMode::kNormalProcessing);
+  Status result = Status::OK();
+  index->ScanRange(lo, hi, [&](Version* v) {
+    if (residual && !residual(v->Payload())) return true;
+    VisibilityResult vis = CheckVisibility(ctx, v, read_time);
+    if (vis.must_abort) {
+      result = Status::Aborted(vis.abort_reason);
+      return false;
+    }
+    if (!vis.visible) return true;
+    // Read stability, per scheme + isolation (same policy as Scan).
     if (txn->pessimistic) {
       if (repeatable) {
         bool locked = false;
@@ -625,7 +690,13 @@ Status MVEngine::Insert(Transaction* txn, TableId table_id,
   Version* v = table.AllocateVersion(payload);
   v->begin.store(beginword::MakeTxnId(txn->id), std::memory_order_release);
   // Connect into all indexes; honor bucket locks (Section 4.2.2 / 4.5).
+  // Ordered indexes have no bucket locks: serializable scanners of a key
+  // range catch this insert via their precommit rescan instead.
   for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    if (OrderedIndex* ordered = table.ordered_index(i)) {
+      ordered->Insert(v);
+      continue;
+    }
     HashIndex& index = table.index(i);
     HashIndex::Bucket* bucket = &index.BucketFor(index.KeyOfPayload(payload));
     index.Insert(v);
@@ -656,12 +727,11 @@ Status MVEngine::Update(Transaction* txn, TableId table_id, IndexId index_id,
     return DoAbort(txn, KillReason(txn));
   }
   Table& table = catalog_.table(table_id);
-  HashIndex& index = table.index(index_id);
   EpochGuard guard(epoch_);
 
   Status status;
   Version* v =
-      FindVisible(txn, table, index, key, ReadTime(txn), nullptr, &status);
+      FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr, &status);
   if (!status.ok()) return DoAbort(txn, status.abort_reason());
   if (v == nullptr) return Status::NotFound();
 
@@ -675,6 +745,10 @@ Status MVEngine::Update(Transaction* txn, TableId table_id, IndexId index_id,
   mutator(vn->Payload());
   vn->begin.store(beginword::MakeTxnId(txn->id), std::memory_order_release);
   for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    if (OrderedIndex* ordered = table.ordered_index(i)) {
+      ordered->Insert(vn);
+      continue;
+    }
     HashIndex& target = table.index(i);
     HashIndex::Bucket* bucket = &target.BucketFor(target.KeyOfPayload(vn->Payload()));
     target.Insert(vn);
@@ -695,12 +769,11 @@ Status MVEngine::Delete(Transaction* txn, TableId table_id, IndexId index_id,
     return DoAbort(txn, KillReason(txn));
   }
   Table& table = catalog_.table(table_id);
-  HashIndex& index = table.index(index_id);
   EpochGuard guard(epoch_);
 
   Status status;
   Version* v =
-      FindVisible(txn, table, index, key, ReadTime(txn), nullptr, &status);
+      FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr, &status);
   if (!status.ok()) return DoAbort(txn, status.abort_reason());
   if (v == nullptr) return Status::NotFound();
 
@@ -817,6 +890,37 @@ Status MVEngine::Validate(Transaction* txn) {
       VisibilityResult at_begin = CheckVisibility(ctx, v, begin_time);
       if (at_begin.must_abort || !at_begin.visible) {
         phantom = true;  // came into existence during our lifetime
+        return false;
+      }
+      return true;
+    });
+    if (phantom) return Status::Aborted(AbortReason::kPhantom);
+  }
+  return ValidateRangeScans(txn);
+}
+
+Status MVEngine::ValidateRangeScans(Transaction* txn) {
+  if (txn->range_scan_set.empty()) return Status::OK();
+  EpochGuard guard(epoch_);
+  const Timestamp end_time = txn->end_ts.load(std::memory_order_acquire);
+  const Timestamp begin_time = txn->begin_ts.load(std::memory_order_acquire);
+  VisibilityContext ctx = VisCtx(txn, VisibilityMode::kValidation);
+  // Same phantom rule as the bucket rescan above, applied to [lo, hi]: a
+  // version visible at the end of the transaction that was not visible at
+  // its start came into existence during our lifetime.
+  for (const RangeScanSetEntry& scan : txn->range_scan_set) {
+    bool phantom = false;
+    scan.index->ScanRange(scan.lo, scan.hi, [&](Version* v) {
+      if (scan.residual && !scan.residual(v->Payload())) return true;
+      VisibilityResult at_end = CheckVisibility(ctx, v, end_time);
+      if (at_end.must_abort) {
+        phantom = true;
+        return false;
+      }
+      if (!at_end.visible) return true;
+      VisibilityResult at_begin = CheckVisibility(ctx, v, begin_time);
+      if (at_begin.must_abort || !at_begin.visible) {
+        phantom = true;
         return false;
       }
       return true;
@@ -960,9 +1064,19 @@ Status MVEngine::Commit(Transaction* txn) {
     return DoAbort(txn, KillReason(txn));
   }
 
-  // Precommit: acquire end timestamp, switch to Preparing (Section 2.4).
-  txn->end_ts.store(ts_gen_.Next(), std::memory_order_release);
+  // Precommit (Section 2.4): publish Preparing FIRST, then draw the end
+  // timestamp. The order is load-bearing: a concurrent reader whose begin
+  // timestamp is B and who still observes our state as Active must be able
+  // to conclude that our end timestamp T — not yet drawn, because drawing
+  // happens after the Preparing store it did not see — will satisfy T > B,
+  // which is what makes "writer Active => old version still visible / new
+  // version invisible" sound. With the reverse order there is a window
+  // where T <= B is already fixed while readers still see Active, and a
+  // scan can return a value that never existed at its snapshot (one leg of
+  // a committed update). Readers that catch Preparing before the timestamp
+  // store spin in AwaitEndTimestamp.
   txn->state.store(TxnState::kPreparing, std::memory_order_seq_cst);
+  txn->end_ts.store(ts_gen_.Next(), std::memory_order_seq_cst);
 
   // Now that the serialization point is fixed, release read and bucket
   // locks and the outgoing wait-for dependencies (Section 4.2.2). Any
@@ -976,6 +1090,13 @@ Status MVEngine::Commit(Transaction* txn) {
       (txn->isolation == IsolationLevel::kSerializable ||
        txn->isolation == IsolationLevel::kRepeatableRead)) {
     Status vs = Validate(txn);
+    if (!vs.ok()) return DoAbort(txn, vs.abort_reason());
+  } else if (txn->pessimistic &&
+             txn->isolation == IsolationLevel::kSerializable) {
+    // MV/L phantom protection for range scans: bucket locks cover hash
+    // buckets only, so ordered-index ranges are revalidated by rescan, the
+    // one place a pessimistic transaction can abort at commit.
+    Status vs = ValidateRangeScans(txn);
     if (!vs.ok()) return DoAbort(txn, vs.abort_reason());
   }
 

@@ -42,6 +42,8 @@ struct MVEngineOptions {
   LogMode log_mode = LogMode::kAsync;
   /// Empty = NullLogSink (count bytes only); otherwise a file path.
   std::string log_path;
+  /// fsync each flushed batch (see DatabaseOptions::fsync_log).
+  bool fsync_log = false;
 
   /// Background garbage collection sweep interval; 0 disables the thread
   /// (cooperative GC still runs).
@@ -108,10 +110,22 @@ class MVEngine {
 
   /// Scan all visible versions matching `key` (plus optional residual
   /// predicate). Serializable transactions register the scan for phantom
-  /// protection (MV/O: ScanSet; MV/L: bucket lock).
+  /// protection (MV/O: ScanSet; MV/L: bucket lock). On an ordered index
+  /// this is ScanRange(key, key).
   Status Scan(Transaction* txn, TableId table_id, IndexId index_id,
               uint64_t key, const Predicate& residual,
               const ScanConsumer& consumer);
+
+  /// Visit every visible version whose `index_id` key lies in [lo, hi], in
+  /// ascending key order, applying the paper's visibility rules per version
+  /// at the transaction's read time. `index_id` must name an ordered
+  /// (skip-list) index. Serializable transactions (both MV/O and MV/L)
+  /// record the range in their RangeScanSet; it is rescanned at precommit
+  /// and a version that became visible during the transaction's lifetime
+  /// aborts it (phantom).
+  Status ScanRange(Transaction* txn, TableId table_id, IndexId index_id,
+                   uint64_t lo, uint64_t hi, const Predicate& residual,
+                   const ScanConsumer& consumer);
 
   /// Visit every visible row of the table as of the transaction's read time
   /// by scanning all buckets of the primary index (Section 2.1: "To scan a
@@ -152,9 +166,9 @@ class MVEngine {
 
   VisibilityContext VisCtx(Transaction* txn, VisibilityMode mode);
 
-  /// Find the first visible version for key; nullptr if none. On conflict
-  /// requiring abort, sets `status`.
-  Version* FindVisible(Transaction* txn, Table& table, HashIndex& index,
+  /// Find the first visible version for key on any index kind; nullptr if
+  /// none. On conflict requiring abort, sets `status`.
+  Version* FindVisible(Transaction* txn, Table& table, IndexId index_id,
                        uint64_t key, Timestamp read_time,
                        const Predicate& residual, Status* status);
 
@@ -190,6 +204,12 @@ class MVEngine {
 
   /// Optimistic validation: read stability + phantom checks (Section 3.2).
   Status Validate(Transaction* txn);
+
+  /// Rescan every registered range scan at the end timestamp: a version
+  /// visible now but not at begin time is a phantom. Runs inside Validate
+  /// for MV/O; pessimistic serializable transactions with range scans run
+  /// it directly at precommit (bucket locks cover hash scans only).
+  Status ValidateRangeScans(Transaction* txn);
 
   /// Write the commit record (Section 3.2 logging step).
   void WriteLog(Transaction* txn);

@@ -82,9 +82,10 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
       continue;  // begin field is finalized; reread
     }
 
-    // end_ts is stored before the state moves to Preparing/Committed, so
-    // this load is safe after the acquire above.
-    Timestamp ts = tb->end_ts.load(std::memory_order_acquire);
+    // State is Preparing or Committed. Preparing is published before the
+    // end timestamp is drawn (see MVEngine::Commit), so spin out the
+    // two-store window if we caught it; by Committed the value is long set.
+    Timestamp ts = AwaitEndTimestamp(tb);
 
     if (tb_state == TxnState::kCommitted) {
       if (read_time < ts) return result;
@@ -105,14 +106,21 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
 
     // Speculative read (Table 1, Preparing row): test passes using ts as the
     // begin time, so take a commit dependency on TB and proceed.
-    if (!RegisterCommitDependency(self, tb)) {
+    CommitDepOutcome dep = RegisterCommitDependency(self, tb);
+    if (dep == CommitDepOutcome::kProviderAborted) {
       return result;  // TB aborted meanwhile: garbage version
     }
-    if (ctx.stats != nullptr) {
+    if (dep == CommitDepOutcome::kProviderTerminated) {
+      // TB resolved and finalized the Begin field between our state reads;
+      // the word now holds the truth (timestamp or infinity). Reread.
+      CpuRelax();
+      continue;
+    }
+    if (dep == CommitDepOutcome::kRegistered && ctx.stats != nullptr) {
       ctx.stats->Add(Stat::kSpeculativeReads);
       ctx.stats->Add(Stat::kCommitDepsTaken);
     }
-    break;  // begin time speculatively established
+    break;  // begin time established (speculatively, or TB committed)
   }
 
   // ---- Step 2: End field (paper Table 2) ----------------------------------
@@ -162,12 +170,14 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
         CpuRelax();
         continue;
       case TxnState::kCommitted: {
-        Timestamp ts = te->end_ts.load(std::memory_order_acquire);
+        Timestamp ts = AwaitEndTimestamp(te);
         result.visible = read_time < ts;
         return result;
       }
       case TxnState::kPreparing: {
-        Timestamp ts = te->end_ts.load(std::memory_order_acquire);
+        // Spin out the Preparing-before-timestamp window (see
+        // MVEngine::Commit precommit ordering).
+        Timestamp ts = AwaitEndTimestamp(te);
         if (read_time < ts) {
           // V will be visible whether TE commits (end = ts > read time) or
           // aborts (end stays infinity).
@@ -176,16 +186,23 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
         }
         // ts < read_time: if TE commits V is invisible; if TE aborts it is
         // visible. Speculatively ignore V and depend on TE committing.
-        if (!RegisterCommitDependency(self, te)) {
+        CommitDepOutcome dep = RegisterCommitDependency(self, te);
+        if (dep == CommitDepOutcome::kProviderAborted) {
           // TE aborted meanwhile: V remains visible.
           result.visible = true;
           return result;
         }
-        if (ctx.stats != nullptr) {
+        if (dep == CommitDepOutcome::kProviderTerminated) {
+          // TE resolved and finalized the End field between our state
+          // reads; the word now holds the truth. Reread.
+          CpuRelax();
+          continue;
+        }
+        if (dep == CommitDepOutcome::kRegistered && ctx.stats != nullptr) {
           ctx.stats->Add(Stat::kSpeculativeIgnores);
           ctx.stats->Add(Stat::kCommitDepsTaken);
         }
-        return result;  // invisible (speculatively)
+        return result;  // invisible (speculatively, or TE committed)
       }
     }
   }

@@ -9,6 +9,7 @@ Database::Database(DatabaseOptions options)
     sv.lock_timeout_us = options_.lock_timeout_us;
     sv.log_mode = options_.log_mode;
     sv.log_path = options_.log_path;
+    sv.fsync_log = options_.fsync_log;
     sv.use_slab_allocator = options_.use_slab_allocator;
     sv_ = std::make_unique<SVEngine>(sv);
   } else {
@@ -16,6 +17,7 @@ Database::Database(DatabaseOptions options)
     mv.honor_locks = options_.honor_locks;
     mv.log_mode = options_.log_mode;
     mv.log_path = options_.log_path;
+    mv.fsync_log = options_.fsync_log;
     mv.gc_interval_us = options_.gc_interval_us;
     mv.deadlock_interval_us = options_.deadlock_interval_us;
     mv.use_slab_allocator = options_.use_slab_allocator;
@@ -77,6 +79,19 @@ Status Database::Scan(Txn* txn, TableId table_id, IndexId index_id,
       txn->mv != nullptr
           ? mv_->Scan(txn->mv, table_id, index_id, key, residual, consumer)
           : sv_->Scan(txn->sv, table_id, index_id, key, residual, consumer);
+  if (s.IsAborted()) ReleaseTxn(txn);
+  return s;
+}
+
+Status Database::ScanRange(Txn* txn, TableId table_id, IndexId index_id,
+                           uint64_t lo, uint64_t hi,
+                           const std::function<bool(const void*)>& residual,
+                           const std::function<bool(const void*)>& consumer) {
+  Status s = txn->mv != nullptr
+                 ? mv_->ScanRange(txn->mv, table_id, index_id, lo, hi,
+                                  residual, consumer)
+                 : sv_->ScanRange(txn->sv, table_id, index_id, lo, hi,
+                                  residual, consumer);
   if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }

@@ -37,6 +37,12 @@ struct DatabaseOptions {
   LogMode log_mode = LogMode::kAsync;
   /// Empty: in-memory byte-counting sink. Otherwise a file path.
   std::string log_path;
+  /// Durability of file-backed logs. Default (false): batches are flushed
+  /// with fflush only — they survive a process crash but NOT an OS crash or
+  /// power loss. Set true to fsync every flushed batch (real durability;
+  /// with LogMode::kSync, commit then waits on an fsync'd batch). Only
+  /// meaningful when log_path is set.
+  bool fsync_log = false;
 
   /// MV engines: see MVEngineOptions.
   bool honor_locks = true;
@@ -103,6 +109,17 @@ class Database {
   Status Scan(Txn* txn, TableId table_id, IndexId index_id, uint64_t key,
               const std::function<bool(const void*)>& residual,
               const std::function<bool(const void*)>& consumer);
+  /// Visit every visible row whose `index_id` key lies in [lo, hi], in
+  /// ascending key order. Requires an ordered index
+  /// (IndexDef::ordered). MV: visibility per version at the transaction's
+  /// read time; serializable transactions rescan the range at commit and
+  /// abort on phantoms. 1V: rows are read under key locks and serializable
+  /// scans predicate-lock the range, so conflicting inserts wait or time
+  /// out.
+  Status ScanRange(Txn* txn, TableId table_id, IndexId index_id, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(const void*)>& residual,
+                   const std::function<bool(const void*)>& consumer);
   /// Visit every visible row of the table (full-table scan through the
   /// primary index). MV: snapshot-consistent at the transaction's read
   /// time. 1V: per-row cursor stability only.

@@ -1,6 +1,24 @@
 #include "log/logger.h"
 
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace mvstore {
+
+void FileLogSink::Sync() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  if (use_fsync_) {
+#if defined(_WIN32)
+    _commit(_fileno(file_));
+#else
+    ::fsync(fileno(file_));
+#endif
+  }
+}
 
 Logger::Logger(LogMode mode, LogSink* sink) : mode_(mode), sink_(sink) {
   if (mode_ == LogMode::kDisabled) return;

@@ -49,11 +49,18 @@ class NullLogSink : public LogSink {
   std::atomic<uint64_t> bytes_{0};
 };
 
-/// Appends to a file; Sync() calls fflush (container-friendly durability
-/// stand-in; swap in fsync for real deployments).
+/// Appends to a file.
+///
+/// DURABILITY CAVEAT: by default Sync() calls fflush only, which moves
+/// bytes into the OS page cache — the log survives a process crash but NOT
+/// an OS crash or power loss. Pass `use_fsync = true` (wired to
+/// DatabaseOptions::fsync_log) to fsync every flushed batch; group commit
+/// amortizes the fsync across the batch's transactions, but expect
+/// device-bound commit latency under LogMode::kSync.
 class FileLogSink : public LogSink {
  public:
-  explicit FileLogSink(const std::string& path) {
+  explicit FileLogSink(const std::string& path, bool use_fsync = false)
+      : use_fsync_(use_fsync) {
     file_ = std::fopen(path.c_str(), "wb");
   }
   ~FileLogSink() override {
@@ -63,12 +70,12 @@ class FileLogSink : public LogSink {
   void Write(const uint8_t* data, size_t size) override {
     if (file_ != nullptr) std::fwrite(data, 1, size, file_);
   }
-  void Sync() override {
-    if (file_ != nullptr) std::fflush(file_);
-  }
+  /// Flush the batch to the OS; with use_fsync, force it to the device.
+  void Sync() override;
 
  private:
   std::FILE* file_ = nullptr;
+  const bool use_fsync_;
 };
 
 /// Captures all bytes in memory; for tests that parse the log back.

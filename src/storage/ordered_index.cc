@@ -1,0 +1,300 @@
+#include "storage/ordered_index.h"
+
+#include <cassert>
+
+namespace mvstore {
+
+namespace {
+
+/// Enter/exit an epoch region when a manager is present (the index's
+/// internal mutations traverse tower pointers that concurrent retirers may
+/// free). Re-entrant: engines typically already hold a guard.
+class OptionalEpochGuard {
+ public:
+  explicit OptionalEpochGuard(EpochManager* manager) : manager_(manager) {
+    if (manager_ != nullptr) manager_->Enter();
+  }
+  ~OptionalEpochGuard() {
+    if (manager_ != nullptr) manager_->Exit();
+  }
+  OptionalEpochGuard(const OptionalEpochGuard&) = delete;
+  OptionalEpochGuard& operator=(const OptionalEpochGuard&) = delete;
+
+ private:
+  EpochManager* const manager_;
+};
+
+}  // namespace
+
+OrderedIndex::OrderedIndex(uint32_t index_pos, KeyExtractor extractor,
+                           bool use_slab, StatsCollector* stats,
+                           EpochManager* epoch)
+    : index_pos_(index_pos), extractor_(extractor), epoch_(epoch) {
+  if (use_slab) {
+    slab_ = std::make_unique<SlabAllocator>(sizeof(Node), stats);
+  }
+  for (uint32_t i = 0; i < kMaxHeight; ++i) {
+    head_.next[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+OrderedIndex::~OrderedIndex() {
+  // Single-threaded by contract (the owning Table is being destroyed).
+  // Versions are freed by the table through its primary index; only the
+  // nodes belong to us.
+  Node* n = StripMark(head_.next[0].load(std::memory_order_relaxed));
+  while (n != nullptr) {
+    Node* next = StripMark(n->next[0].load(std::memory_order_relaxed));
+    FreeNode(n);
+    n = next;
+  }
+}
+
+bool OrderedIndex::Find(uint64_t key, Node** preds, Node** succs) {
+retry:
+  Node* pred = &head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    Node* curr = StripMark(pred->next[level].load(std::memory_order_acquire));
+    while (curr != nullptr) {
+      Node* succ = curr->next[level].load(std::memory_order_acquire);
+      if (IsMarked(succ)) {
+        // curr is logically deleted at this level: help unlink it. The CAS
+        // fails if pred itself got marked or its link moved; restart.
+        Node* expected = curr;
+        if (!pred->next[level].compare_exchange_strong(
+                expected, StripMark(succ), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          goto retry;
+        }
+        curr = StripMark(succ);
+        continue;
+      }
+      if (curr->key < key) {
+        pred = curr;
+        curr = StripMark(succ);
+        continue;
+      }
+      break;
+    }
+    preds[level] = pred;
+    succs[level] = curr;
+  }
+  return succs[0] != nullptr && succs[0]->key == key;
+}
+
+void OrderedIndex::LockMeta(Node* node) {
+  while (true) {
+    uint64_t meta = node->meta.load(std::memory_order_relaxed);
+    if ((meta & kChainLatchBit) == 0 &&
+        node->meta.compare_exchange_weak(meta, meta | kChainLatchBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+    CpuRelax();
+  }
+}
+
+void OrderedIndex::UnlockMeta(Node* node) {
+  node->meta.fetch_and(~kChainLatchBit, std::memory_order_release);
+}
+
+bool OrderedIndex::PushVersion(Node* node, Version* v) {
+  LockMeta(node);
+  if ((node->meta.load(std::memory_order_relaxed) & kDeadBit) != 0) {
+    UnlockMeta(node);
+    return false;  // node is draining out of the tower; caller retries
+  }
+  Version* head = node->chain.load(std::memory_order_relaxed);
+  v->Next(index_pos_).store(head, std::memory_order_relaxed);
+  // Readers traverse the chain lock-free; publish with release. Pushes all
+  // hold the meta latch, so a plain store (no CAS) suffices.
+  node->chain.store(v, std::memory_order_release);
+  UnlockMeta(node);
+  return true;
+}
+
+void OrderedIndex::Insert(Version* v) {
+  OptionalEpochGuard guard(epoch_);
+  const uint64_t key = KeyOf(v);
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  while (true) {
+    if (Find(key, preds, succs)) {
+      if (PushVersion(succs[0], v)) return;
+      CpuRelax();  // the node is being retired; wait for it to leave
+      continue;
+    }
+    Node* node = AllocNode(key);
+    v->Next(index_pos_).store(nullptr, std::memory_order_relaxed);
+    node->chain.store(v, std::memory_order_relaxed);
+    // Hold the linking bit across upper-level publication: a concurrent
+    // chain-drain retirement must not mark-and-free the node while we are
+    // still wiring it into the tower.
+    node->meta.store(kLinkingBit, std::memory_order_relaxed);
+    const uint32_t height = node->height;
+    for (uint32_t i = 0; i < height; ++i) {
+      node->next[i].store(succs[i], std::memory_order_relaxed);
+    }
+    Node* expected = succs[0];
+    if (!preds[0]->next[0].compare_exchange_strong(expected, node,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+      FreeNode(node);  // never published
+      continue;
+    }
+    for (uint32_t level = 1; level < height; ++level) {
+      while (true) {
+        // Not yet linked at this level, so only we touch next[level] (the
+        // retirer waits out the linking bit before marking).
+        node->next[level].store(succs[level], std::memory_order_relaxed);
+        Node* expected_succ = succs[level];
+        if (preds[level]->next[level].compare_exchange_strong(
+                expected_succ, node, std::memory_order_release,
+                std::memory_order_relaxed)) {
+          break;
+        }
+        Find(key, preds, succs);  // preds went stale; refresh the bracket
+      }
+    }
+    node->meta.fetch_and(~kLinkingBit, std::memory_order_release);
+    return;
+  }
+}
+
+bool OrderedIndex::Unlink(Version* v) {
+  OptionalEpochGuard guard(epoch_);
+  const uint64_t key = KeyOf(v);
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  if (!Find(key, preds, succs)) return false;
+  Node* node = succs[0];
+
+  LockMeta(node);
+  if ((node->meta.load(std::memory_order_relaxed) & kDeadBit) != 0) {
+    UnlockMeta(node);
+    return false;  // chain already drained; v is long gone
+  }
+  bool found = false;
+  Version* head = node->chain.load(std::memory_order_relaxed);
+  if (head == v) {
+    node->chain.store(v->Next(index_pos_).load(std::memory_order_acquire),
+                      std::memory_order_release);
+    found = true;
+  } else {
+    for (Version* prev = head; prev != nullptr;
+         prev = prev->Next(index_pos_).load(std::memory_order_acquire)) {
+      Version* cur = prev->Next(index_pos_).load(std::memory_order_acquire);
+      if (cur == v) {
+        prev->Next(index_pos_)
+            .store(v->Next(index_pos_).load(std::memory_order_acquire),
+                   std::memory_order_release);
+        found = true;
+        break;
+      }
+    }
+  }
+  const bool drained = node->chain.load(std::memory_order_relaxed) == nullptr;
+  if (drained) {
+    // Win the dead bit while still latched: exactly one unlinker retires.
+    node->meta.fetch_or(kDeadBit, std::memory_order_release);
+  }
+  UnlockMeta(node);
+  if (drained) RemoveNode(node);
+  return found;
+}
+
+void OrderedIndex::RemoveNode(Node* node) {
+  // Wait out the creator's upper-level linking (bounded: linking never
+  // blocks), so no tower CAS can re-publish the node after we mark it.
+  while ((node->meta.load(std::memory_order_acquire) & kLinkingBit) != 0) {
+    CpuRelax();
+  }
+  for (int level = static_cast<int>(node->height) - 1; level >= 0; --level) {
+    Node* succ = node->next[level].load(std::memory_order_acquire);
+    while (!IsMarked(succ)) {
+      if (node->next[level].compare_exchange_weak(succ, WithMark(succ),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        break;
+      }
+    }
+  }
+  // A Find over the node's key physically unlinks it at every level it is
+  // still reachable on (traversals help, but this call guarantees it).
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  Find(node->key, preds, succs);
+  RetireNode(node);
+}
+
+OrderedIndex::Node* OrderedIndex::AllocNode(uint64_t key) {
+  void* storage = slab_ != nullptr ? slab_->Allocate()
+                                   : ::operator new(sizeof(Node));
+  Node* node = new (storage) Node();  // placement-init: slots recycle
+  node->key = key;
+  node->height = RandomHeight();
+  for (uint32_t i = 0; i < kMaxHeight; ++i) {
+    node->next[i].store(nullptr, std::memory_order_relaxed);
+  }
+  return node;
+}
+
+void OrderedIndex::FreeNode(Node* node) {
+  if (slab_ != nullptr) {
+    node->~Node();
+    slab_->Free(node);
+  } else {
+    node->~Node();
+    ::operator delete(node);
+  }
+}
+
+void OrderedIndex::NodeDeleter(void* node, void* index_arg) {
+  static_cast<OrderedIndex*>(index_arg)->FreeNode(static_cast<Node*>(node));
+}
+
+void OrderedIndex::RetireNode(Node* node) {
+  if (epoch_ != nullptr) {
+    epoch_->Retire(node, &NodeDeleter, this);
+  } else {
+    FreeNode(node);  // single-threaded use only
+  }
+}
+
+uint32_t OrderedIndex::RandomHeight() {
+  // Thread-local xorshift; p = 1/4 per promotion (CLP-style towers).
+  thread_local uint64_t state =
+      0x9E3779B97F4A7C15ull ^ reinterpret_cast<uint64_t>(&state);
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  uint32_t height = 1;
+  for (uint64_t r = state; (r & 3) == 0 && height < kMaxHeight; r >>= 2) {
+    ++height;
+  }
+  return height;
+}
+
+uint64_t OrderedIndex::CountEntries() {
+  OptionalEpochGuard guard(epoch_);
+  uint64_t n = 0;
+  ScanRange(0, ~uint64_t{0}, [&](Version*) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+uint64_t OrderedIndex::CountNodes() {
+  OptionalEpochGuard guard(epoch_);
+  uint64_t n = 0;
+  for (Node* node = StripMark(head_.next[0].load(std::memory_order_acquire));
+       node != nullptr;
+       node = StripMark(node->next[0].load(std::memory_order_acquire))) {
+    if ((node->meta.load(std::memory_order_acquire) & kDeadBit) == 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace mvstore

@@ -1,0 +1,183 @@
+// Ordered secondary index over versions: a latch-efficient skip list.
+//
+// The paper's engines reach records only through lock-free hash indexes
+// (Section 2.1), which serve equality probes but no range predicates. This
+// index adds the ordered access path: a skip list keyed on a user-declared
+// column whose nodes carry version-chain heads exactly like HashIndex
+// buckets — one node per distinct key, all versions with that key chained
+// through the version's per-index next pointer (`Version::Next(index_pos)`).
+// Scans walk the bottom level and apply the paper's visibility rules per
+// version (the caller does; this layer is visibility-agnostic, like
+// HashIndex).
+//
+// Concurrency design:
+//  * Lookups and range scans are lock-free: they traverse tower pointers
+//    and version chains with acquire loads only. Callers must hold an
+//    EpochGuard, exactly as for HashIndex bucket scans.
+//  * Tower links use Harris-style pointer marking (bit 0 of a next pointer
+//    marks the node logically deleted); traversals help unlink marked
+//    nodes. Node inserts are CAS-only.
+//  * Version-chain pushes and unlinks serialize per node on a spin bit in
+//    the node's meta word (the HashIndex chain-latch idiom); readers of the
+//    chain never take it.
+//  * A node whose chain becomes empty (garbage collection unlinked its last
+//    version) is retired: the unlinking thread wins the node's dead bit,
+//    marks every tower level, physically unlinks it, and hands the memory
+//    to the EpochManager. Slots recycle through an optional per-index
+//    SlabAllocator (nodes are fixed-size: towers are allocated at
+//    kMaxHeight regardless of the rolled height).
+//
+// The interaction that makes retirement safe: the thread that created a
+// node may still be linking its upper tower levels when the node's chain
+// drains. The creator holds the meta word's linking bit across that window;
+// the retirer spins it out before marking, so a retired node can never be
+// re-published into the tower.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/counters.h"
+#include "common/port.h"
+#include "mem/slab_allocator.h"
+#include "storage/version.h"
+#include "util/epoch.h"
+
+namespace mvstore {
+
+class OrderedIndex {
+ public:
+  /// Same contract as HashIndex::KeyExtractor: capture-free, applied on
+  /// every comparison.
+  using KeyExtractor = uint64_t (*)(const void* payload);
+
+  /// Tower height cap. 2^16 distinct keys per expected level-1 node at
+  /// p = 1/4 — ample for in-memory tables.
+  static constexpr uint32_t kMaxHeight = 16;
+
+  /// `index_pos` is this index's slot in each version's next-pointer array
+  /// (shared numbering with the table's hash indexes). `epoch` may be null
+  /// (single-threaded use: retirement frees immediately); `use_slab`
+  /// recycles node slots through a SlabAllocator, mirroring version slots.
+  OrderedIndex(uint32_t index_pos, KeyExtractor extractor, bool use_slab,
+               StatsCollector* stats, EpochManager* epoch);
+  ~OrderedIndex();
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  uint32_t index_pos() const { return index_pos_; }
+
+  uint64_t KeyOf(const Version* v) const { return extractor_(v->Payload()); }
+  uint64_t KeyOfPayload(const void* payload) const {
+    return extractor_(payload);
+  }
+
+  /// Link `v` into the node for its key, creating the node if absent. The
+  /// version's key must already be in its payload. Safe to call from any
+  /// thread; takes an epoch guard internally.
+  void Insert(Version* v);
+
+  /// Unlink `v` from its node's version chain (garbage collection only).
+  /// Returns false if not found. If the chain drains, the node itself is
+  /// unlinked from the tower and epoch-retired. Readers may still hold
+  /// pointers to `v`; the caller must epoch-retire it, never free
+  /// immediately.
+  bool Unlink(Version* v);
+
+  /// Visit every version whose key equals `key`. `fn(Version*)` returns
+  /// true to continue, false to stop. Caller must hold an EpochGuard.
+  template <typename Fn>
+  void ScanKey(uint64_t key, Fn&& fn) {
+    ScanRange(key, key, static_cast<Fn&&>(fn));
+  }
+
+  /// Visit every version whose key lies in [lo, hi], in ascending key
+  /// order (versions within one key are newest-first, like a bucket
+  /// chain). Caller must hold an EpochGuard. `fn(Version*)` returns true
+  /// to continue, false to stop.
+  template <typename Fn>
+  void ScanRange(uint64_t lo, uint64_t hi, Fn&& fn) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    Find(lo, preds, succs);
+    for (Node* n = succs[0]; n != nullptr;
+         n = StripMark(n->next[0].load(std::memory_order_acquire))) {
+      if (n->key > hi) return;
+      // A dead (draining) node has an empty chain; no special case needed.
+      for (Version* v = n->chain.load(std::memory_order_acquire); v != nullptr;
+           v = v->Next(index_pos_).load(std::memory_order_acquire)) {
+        if (!fn(v)) return;
+      }
+    }
+  }
+
+  /// Number of versions currently linked (racy; tests/stats only).
+  uint64_t CountEntries();
+  /// Number of live (non-dead) key nodes (racy; tests/stats only).
+  uint64_t CountNodes();
+
+ private:
+  struct alignas(SlabAllocator::kSlotAlign) Node {
+    uint64_t key = 0;
+    uint32_t height = 1;
+    /// bit 0: chain latch; bit 1: dead (chain drained, being retired);
+    /// bit 2: creator still linking upper tower levels.
+    std::atomic<uint64_t> meta{0};
+    /// Head of the version chain (linked via Version::Next(index_pos)).
+    std::atomic<Version*> chain{nullptr};
+    /// Tower. Bit 0 of a stored pointer marks this node logically deleted
+    /// at that level. Always kMaxHeight slots (fixed node size → slab).
+    std::atomic<Node*> next[kMaxHeight];
+  };
+
+  static constexpr uint64_t kChainLatchBit = 1;
+  static constexpr uint64_t kDeadBit = 2;
+  static constexpr uint64_t kLinkingBit = 4;
+
+  static Node* StripMark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(p) &
+                                   ~uintptr_t{1});
+  }
+  static bool IsMarked(Node* p) {
+    return (reinterpret_cast<uintptr_t>(p) & 1) != 0;
+  }
+  static Node* WithMark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(p) |
+                                   uintptr_t{1});
+  }
+
+  /// Locate `key`: preds[l]/succs[l] bracket it at every level, with
+  /// succs[0] the first node whose key >= `key` (or null). Physically
+  /// unlinks marked nodes encountered on the way (helping). Returns true
+  /// if succs[0] holds exactly `key`.
+  bool Find(uint64_t key, Node** preds, Node** succs);
+
+  /// Push `v` at the head of `node`'s chain. Fails (false) if the node is
+  /// dead — the caller re-runs Find and creates a fresh node.
+  bool PushVersion(Node* node, Version* v);
+
+  /// Mark every tower level, physically unlink, and epoch-retire `node`.
+  /// Only the thread that won the dead bit calls this.
+  void RemoveNode(Node* node);
+
+  void LockMeta(Node* node);
+  void UnlockMeta(Node* node);
+
+  Node* AllocNode(uint64_t key);
+  void FreeNode(Node* node);
+  static void NodeDeleter(void* node, void* index_arg);
+  void RetireNode(Node* node);
+
+  static uint32_t RandomHeight();
+
+  const uint32_t index_pos_;
+  const KeyExtractor extractor_;
+  EpochManager* const epoch_;
+  std::unique_ptr<SlabAllocator> slab_;
+  /// Head sentinel: key is never examined (it precedes every real node).
+  Node head_;
+};
+
+}  // namespace mvstore

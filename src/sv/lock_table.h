@@ -9,6 +9,13 @@
 // Each lock is a reader-count plus a writer-owner word. Waits spin with
 // exponential backoff and a deadline; a timed-out acquisition aborts the
 // transaction (probable deadlock).
+//
+// Hash-key locks protect equality scans against phantoms, but an ordered
+// index's range scans need coverage over a key *interval*. RangeLockManager
+// below supplies it: serializable scanners register [lo, hi] shared, and
+// writers that add or remove keys from an ordered index register point
+// entries; the two conflict pairwise across transactions and waits use the
+// same timeout discipline.
 #pragma once
 
 #include <atomic>
@@ -17,11 +24,38 @@
 #include <vector>
 
 #include "common/port.h"
+#include "common/spin_latch.h"
 #include "common/timing.h"
 #include "common/types.h"
 #include "util/bits.h"
 
 namespace mvstore {
+
+/// Spin-then-yield backoff for 1V lock waits.
+class LockBackoff {
+ public:
+  void Pause() {
+    if (++spins_ % 256 == 0) {
+      std::this_thread::yield();
+    } else {
+      CpuRelax();
+    }
+  }
+
+ private:
+  uint32_t spins_ = 0;
+};
+
+/// Lazily arms the deadline on first call (avoids a clock read on the
+/// uncontended path), then reports expiry.
+inline bool LockWaitTimedOut(uint64_t* deadline, uint64_t timeout_us) {
+  uint64_t now = NowMicros();
+  if (*deadline == 0) {
+    *deadline = now + timeout_us;
+    return false;
+  }
+  return now >= *deadline;
+}
 
 /// One shared/exclusive lock. Readers increment `readers`; a writer owns
 /// the lock by storing its transaction ID in `writer`. A writer waits for
@@ -102,35 +136,125 @@ class SVLockTable {
   }
 
  private:
-  /// Spin-then-yield backoff for lock waits.
-  class Backoff {
-   public:
-    void Pause() {
-      if (++spins_ % 256 == 0) {
-        std::this_thread::yield();
-      } else {
-        CpuRelax();
-      }
-    }
+  using Backoff = LockBackoff;
 
-   private:
-    uint32_t spins_ = 0;
-  };
-
-  /// Lazily arms the deadline on first call (avoids a clock read on the
-  /// uncontended path), then reports expiry.
   static bool TimedOut(uint64_t* deadline, uint64_t timeout_us) {
-    uint64_t now = NowMicros();
-    if (*deadline == 0) {
-      *deadline = now + timeout_us;
-      return false;
-    }
-    return now >= *deadline;
+    return LockWaitTimedOut(deadline, timeout_us);
   }
 
   const uint64_t size_;
   const uint64_t mask_;
   std::vector<KeyLock> locks_;
+};
+
+/// Predicate locks over one ordered index's key space, the 1V engine's
+/// phantom protection for range scans (strict 2PL: entries are held to
+/// commit and released with the transaction's other locks).
+///
+///  * A serializable range scan registers [lo, hi] in shared mode before
+///    reading.
+///  * An insert or delete that changes the index's key membership registers
+///    a point entry for the affected key before touching the index.
+///
+/// A point entry conflicts with any overlapping range of another
+/// transaction, and vice versa; same-kind entries never conflict (two
+/// scanners share; two writers of the same key are already serialized by
+/// that key's hash lock). Waits spin with the usual timeout, so range/point
+/// deadlocks are broken like every other 1V deadlock.
+///
+/// The entry lists are short (one per live scanning/writing transaction)
+/// and guarded by one spin latch; the scan-heavy path registers once per
+/// range, not per row.
+class RangeLockManager {
+ public:
+  /// Register [lo, hi] shared for `self` once no other transaction holds a
+  /// point entry inside it. Returns false on timeout.
+  bool AcquireRange(TxnId self, uint64_t lo, uint64_t hi,
+                    uint64_t timeout_us) {
+    LockBackoff backoff;
+    uint64_t deadline = 0;
+    while (true) {
+      {
+        SpinLatchGuard guard(latch_);
+        bool conflict = false;
+        for (const PointEntry& p : points_) {
+          if (p.txn != self && p.key >= lo && p.key <= hi) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) {
+          ranges_.push_back(RangeEntry{self, lo, hi});
+          return true;
+        }
+      }
+      if (LockWaitTimedOut(&deadline, timeout_us)) return false;
+      backoff.Pause();
+    }
+  }
+
+  void ReleaseRange(TxnId self, uint64_t lo, uint64_t hi) {
+    SpinLatchGuard guard(latch_);
+    for (size_t i = 0; i < ranges_.size(); ++i) {
+      if (ranges_[i].txn == self && ranges_[i].lo == lo &&
+          ranges_[i].hi == hi) {
+        ranges_[i] = ranges_.back();
+        ranges_.pop_back();
+        return;
+      }
+    }
+  }
+
+  /// Register `key` for writer `self` once no other transaction holds a
+  /// range covering it. Returns false on timeout.
+  bool AcquirePoint(TxnId self, uint64_t key, uint64_t timeout_us) {
+    LockBackoff backoff;
+    uint64_t deadline = 0;
+    while (true) {
+      {
+        SpinLatchGuard guard(latch_);
+        bool conflict = false;
+        for (const RangeEntry& r : ranges_) {
+          if (r.txn != self && key >= r.lo && key <= r.hi) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) {
+          points_.push_back(PointEntry{self, key});
+          return true;
+        }
+      }
+      if (LockWaitTimedOut(&deadline, timeout_us)) return false;
+      backoff.Pause();
+    }
+  }
+
+  void ReleasePoint(TxnId self, uint64_t key) {
+    SpinLatchGuard guard(latch_);
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].txn == self && points_[i].key == key) {
+        points_[i] = points_.back();
+        points_.pop_back();
+        return;
+      }
+    }
+  }
+
+ private:
+  struct RangeEntry {
+    TxnId txn;
+    uint64_t lo;
+    uint64_t hi;
+  };
+  struct PointEntry {
+    TxnId txn;
+    uint64_t key;
+  };
+
+  SpinLatch latch_;
+  std::vector<RangeEntry> ranges_;
+  std::vector<PointEntry> points_;
 };
 
 }  // namespace mvstore

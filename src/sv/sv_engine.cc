@@ -10,12 +10,13 @@ SVEngine::SVEngine(SVEngineOptions options)
     : options_(options),
       txn_pool_(options_.use_slab_allocator, &stats_) {
   catalog_.ConfigureMemory(
-      Table::MemoryOptions{options_.use_slab_allocator, &stats_});
+      Table::MemoryOptions{options_.use_slab_allocator, &stats_, &epoch_});
   LogSink* sink = nullptr;
   if (options_.log_mode != LogMode::kDisabled) {
     sink = options_.log_path.empty()
                ? static_cast<LogSink*>(new NullLogSink())
-               : static_cast<LogSink*>(new FileLogSink(options_.log_path));
+               : static_cast<LogSink*>(
+                     new FileLogSink(options_.log_path, options_.fsync_log));
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink);
 }
@@ -39,9 +40,14 @@ TableId SVEngine::CreateTable(TableDef def) {
   Table& table = catalog_.table(id);
   lock_table_base_.push_back(static_cast<uint32_t>(lock_tables_.size()));
   for (uint32_t i = 0; i < table.num_indexes(); ++i) {
-    // One lock per hash key: size the lock table like the index.
+    // One lock per hash key: size the lock table like the index. Ordered
+    // indexes get the same key-hash row locks plus a RangeLockManager for
+    // interval (phantom) coverage.
     lock_tables_.push_back(
-        std::make_unique<SVLockTable>(table.index(i).bucket_count()));
+        std::make_unique<SVLockTable>(table.index_def(i).bucket_count));
+    range_locks_.push_back(table.ordered_index(i) != nullptr
+                               ? std::make_unique<RangeLockManager>()
+                               : nullptr);
   }
   return id;
 }
@@ -91,16 +97,80 @@ Status SVEngine::AcquireLock(SVTransaction* txn, SVLockTable& locks,
   return Status::OK();
 }
 
-Version* SVEngine::FindRow(HashIndex& index, uint64_t key,
+Version* SVEngine::FindRow(Table& table, IndexId index_id, uint64_t key,
                            const std::function<bool(const void*)>& residual) {
   Version* found = nullptr;
-  index.ScanBucket(key, [&](Version* v) {
-    if (index.KeyOf(v) != key) return true;
+  auto probe = [&](Version* v) {
+    if (table.IndexKeyOf(index_id, v) != key) return true;
     if (residual && !residual(v->Payload())) return true;
     found = v;
     return false;
-  });
+  };
+  table.ScanIndexKey(index_id, key, probe);
   return found;
+}
+
+Status SVEngine::ReadRowForScan(SVTransaction* txn, Table& table,
+                                IndexId index_id, SVLockTable& locks,
+                                Version* v, bool cursor_stability,
+                                const std::function<bool(const void*)>& residual,
+                                const std::function<bool(const void*)>& consumer,
+                                bool* keep_going) {
+  *keep_going = true;
+  const uint64_t key = table.IndexKeyOf(index_id, v);
+  KeyLock* lock = locks.LockFor(key);
+  SVTransaction::LockEntry* held = txn->FindLock(lock);
+  bool release_after = false;
+  if (held == nullptr) {
+    if (!SVLockTable::AcquireShared(lock, txn->id, options_.lock_timeout_us)) {
+      return Status::Aborted(AbortReason::kLockTimeout);
+    }
+    if (cursor_stability ||
+        txn->isolation == IsolationLevel::kReadCommitted) {
+      release_after = true;
+    } else {
+      txn->locks.push_back(SVTransaction::LockEntry{lock, false});
+    }
+    // Membership re-check: the index walk found `v` before we held the
+    // lock, so a writer may have unlinked it in the window (aborted
+    // insert, committed delete). Unconditional even when the acquisition
+    // never waited: a writer can take X, unlink, and release entirely
+    // inside that window without contending with our acquire. Only a row
+    // we already held the lock for needs no check.
+    bool linked = false;
+    table.ScanIndexKey(index_id, key, [&](Version* candidate) {
+      if (candidate == v) {
+        linked = true;
+        return false;
+      }
+      return true;
+    });
+    if (!linked) {
+      if (release_after) SVLockTable::ReleaseShared(lock);
+      return Status::OK();  // skip the vanished row; *keep_going stays true
+    }
+  }
+  if (!residual || residual(v->Payload())) {
+    *keep_going = consumer(v->Payload());
+  }
+  if (release_after) SVLockTable::ReleaseShared(lock);
+  return Status::OK();
+}
+
+Status SVEngine::AcquireOrderedPoints(SVTransaction* txn, TableId table_id,
+                                      Table& table, const void* payload) {
+  for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    RangeLockManager* ranges =
+        range_locks_[lock_table_base_[table_id] + i].get();
+    if (ranges == nullptr) continue;
+    uint64_t key = table.IndexKeyOfPayload(i, payload);
+    if (!ranges->AcquirePoint(txn->id, key, options_.lock_timeout_us)) {
+      return Status::Aborted(AbortReason::kLockTimeout);
+    }
+    txn->range_locks.push_back(
+        SVTransaction::RangeLockHold{ranges, key, key, /*point=*/true});
+  }
+  return Status::OK();
 }
 
 Status SVEngine::Read(SVTransaction* txn, TableId table_id, IndexId index_id,
@@ -122,6 +192,11 @@ Status SVEngine::Scan(SVTransaction* txn, TableId table_id, IndexId index_id,
                       const std::function<bool(const void*)>& residual,
                       const std::function<bool(const void*)>& consumer) {
   Table& table = catalog_.table(table_id);
+  if (table.ordered_index(index_id) != nullptr) {
+    // Equality probe on the ordered access path: a degenerate range (the
+    // range machinery supplies the phantom coverage a hash-key lock would).
+    return ScanRange(txn, table_id, index_id, key, key, residual, consumer);
+  }
   HashIndex& index = table.index(index_id);
   SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
 
@@ -153,26 +228,67 @@ Status SVEngine::Scan(SVTransaction* txn, TableId table_id, IndexId index_id,
   return Status::OK();
 }
 
+Status SVEngine::ScanRange(SVTransaction* txn, TableId table_id,
+                           IndexId index_id, uint64_t lo, uint64_t hi,
+                           const std::function<bool(const void*)>& residual,
+                           const std::function<bool(const void*)>& consumer) {
+  Table& table = catalog_.table(table_id);
+  OrderedIndex* index = table.ordered_index(index_id);
+  if (index == nullptr) return Status::InvalidArgument();
+  SVLockTable& key_locks = *lock_tables_[lock_table_base_[table_id] + index_id];
+  RangeLockManager& ranges =
+      *range_locks_[lock_table_base_[table_id] + index_id];
+
+  // Serializable: predicate-lock the interval before reading, so inserts
+  // and deletes inside it wait for us (or time out) — strict 2PL phantom
+  // protection over a range the hash-key locks cannot express.
+  if (txn->isolation == IsolationLevel::kSerializable) {
+    if (!ranges.AcquireRange(txn->id, lo, hi, options_.lock_timeout_us)) {
+      return DoAbort(txn, AbortReason::kLockTimeout);
+    }
+    txn->range_locks.push_back(
+        SVTransaction::RangeLockHold{&ranges, lo, hi, /*point=*/false});
+  }
+
+  EpochGuard guard(epoch_);
+  Status result = Status::OK();
+  index->ScanRange(lo, hi, [&](Version* v) {
+    // Rows are read under their ordered-key hash lock (short under Read
+    // Committed — cursor stability — held to commit otherwise): deleters
+    // and in-place writers X-lock it, so payload and membership are
+    // stable while we hold S.
+    bool keep_going = true;
+    Status s = ReadRowForScan(txn, table, index_id, key_locks, v,
+                              /*cursor_stability=*/false, residual, consumer,
+                              &keep_going);
+    if (!s.ok()) {
+      result = s;
+      return false;
+    }
+    return keep_going;
+  });
+  if (result.IsAborted()) return DoAbort(txn, result.abort_reason());
+  return result;
+}
+
 Status SVEngine::ScanTable(SVTransaction* txn, TableId table_id,
                            const std::function<bool(const void*)>& consumer) {
   Table& table = catalog_.table(table_id);
-  HashIndex& index = table.index(0);
   SVLockTable& locks = *lock_tables_[lock_table_base_[table_id]];
   EpochGuard guard(epoch_);
   Status result = Status::OK();
-  index.ScanAll([&](Version* v) {
-    uint64_t key = index.KeyOf(v);
-    KeyLock* lock = locks.LockFor(key);
-    SVTransaction::LockEntry* held = txn->FindLock(lock);
-    if (held == nullptr) {
-      if (!SVLockTable::AcquireShared(lock, txn->id,
-                                      options_.lock_timeout_us)) {
-        result = Status::Aborted(AbortReason::kLockTimeout);
-        return false;
-      }
+  table.index(0).ScanAll([&](Version* v) {
+    // Cursor stability only: each row's lock is released after the read
+    // regardless of isolation (a full scan must not accumulate the whole
+    // table's locks).
+    bool keep_going = true;
+    Status s = ReadRowForScan(txn, table, 0, locks, v,
+                              /*cursor_stability=*/true, nullptr, consumer,
+                              &keep_going);
+    if (!s.ok()) {
+      result = s;
+      return false;
     }
-    bool keep_going = consumer(v->Payload());
-    if (held == nullptr) SVLockTable::ReleaseShared(lock);
     return keep_going;
   });
   if (result.IsAborted()) return DoAbort(txn, result.abort_reason());
@@ -190,20 +306,28 @@ Status SVEngine::Insert(SVTransaction* txn, TableId table_id,
   if (!s.ok()) return DoAbort(txn, s.abort_reason());
 
   EpochGuard guard(epoch_);
-  if (table.index_def(0).unique && FindRow(primary, key, nullptr) != nullptr) {
+  if (table.index_def(0).unique &&
+      FindRow(table, 0, key, nullptr) != nullptr) {
     return Status::AlreadyExists();  // lock stays held (2PL)
   }
   Version* row = table.AllocateVersion(payload);
   row->begin.store(beginword::MakeTimestamp(0), std::memory_order_relaxed);
   // Lock the secondary keys too before publishing.
   for (uint32_t i = 1; i < table.num_indexes(); ++i) {
-    uint64_t k = table.index(i).KeyOfPayload(payload);
+    uint64_t k = table.IndexKeyOfPayload(i, payload);
     Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
                             k, /*exclusive=*/true, nullptr);
     if (!s2.ok()) {
       table.FreeUnpublishedVersion(row);
       return DoAbort(txn, s2.abort_reason());
     }
+  }
+  // Ordered indexes: the new keys must not land inside a range a
+  // serializable scanner holds (phantom); wait it out or time out.
+  Status sp = AcquireOrderedPoints(txn, table_id, table, payload);
+  if (!sp.ok()) {
+    table.FreeUnpublishedVersion(row);
+    return DoAbort(txn, sp.abort_reason());
   }
   table.InsertIntoAllIndexes(row);
   txn->undo.push_back(
@@ -214,22 +338,32 @@ Status SVEngine::Insert(SVTransaction* txn, TableId table_id,
 Status SVEngine::Update(SVTransaction* txn, TableId table_id, IndexId index_id,
                         uint64_t key, const std::function<void(void*)>& mutator) {
   Table& table = catalog_.table(table_id);
-  HashIndex& index = table.index(index_id);
   SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
 
   Status s = AcquireLock(txn, locks, key, /*exclusive=*/true, nullptr);
   if (!s.ok()) return DoAbort(txn, s.abort_reason());
 
   EpochGuard guard(epoch_);
-  Version* row = FindRow(index, key, nullptr);
+  Version* row = FindRow(table, index_id, key, nullptr);
   if (row == nullptr) return Status::NotFound();
 
   // If updating through a secondary index, also X-lock the primary key so
   // writers serialize regardless of access path.
   if (index_id != 0) {
-    uint64_t pk = table.index(0).KeyOf(row);
+    uint64_t pk = table.IndexKeyOf(0, row);
     Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id]], pk,
                             /*exclusive=*/true, nullptr);
+    if (!s2.ok()) return DoAbort(txn, s2.abort_reason());
+  }
+  // X-lock the row's key in every ordered index: range scans read rows
+  // under those keys' S locks, and the in-place mutation below must not
+  // race them. (In-place updates cannot change index keys, so the keys
+  // read here are stable.)
+  for (uint32_t i = 0; i < table.num_indexes(); ++i) {
+    if (i == index_id || table.ordered_index(i) == nullptr) continue;
+    uint64_t k = table.IndexKeyOf(i, row);
+    Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
+                            k, /*exclusive=*/true, nullptr);
     if (!s2.ok()) return DoAbort(txn, s2.abort_reason());
   }
 
@@ -248,24 +382,27 @@ Status SVEngine::Update(SVTransaction* txn, TableId table_id, IndexId index_id,
 Status SVEngine::Delete(SVTransaction* txn, TableId table_id, IndexId index_id,
                         uint64_t key) {
   Table& table = catalog_.table(table_id);
-  HashIndex& index = table.index(index_id);
   SVLockTable& locks = *lock_tables_[lock_table_base_[table_id] + index_id];
 
   Status s = AcquireLock(txn, locks, key, /*exclusive=*/true, nullptr);
   if (!s.ok()) return DoAbort(txn, s.abort_reason());
 
   EpochGuard guard(epoch_);
-  Version* row = FindRow(index, key, nullptr);
+  Version* row = FindRow(table, index_id, key, nullptr);
   if (row == nullptr) return Status::NotFound();
 
   // X-lock every index key of the row, then unlink everywhere.
   for (uint32_t i = 0; i < table.num_indexes(); ++i) {
     if (i == index_id) continue;
-    uint64_t k = table.index(i).KeyOf(row);
+    uint64_t k = table.IndexKeyOf(i, row);
     Status s2 = AcquireLock(txn, *lock_tables_[lock_table_base_[table_id] + i],
                             k, /*exclusive=*/true, nullptr);
     if (!s2.ok()) return DoAbort(txn, s2.abort_reason());
   }
+  // Removing keys from an ordered index shrinks a serializable scanner's
+  // result set just like an insert grows it: take the point entries first.
+  Status sp = AcquireOrderedPoints(txn, table_id, table, row->Payload());
+  if (!sp.ok()) return DoAbort(txn, sp.abort_reason());
   table.UnlinkFromAllIndexes(row);
   txn->undo.push_back(
       SVTransaction::UndoEntry{SVTransaction::UndoOp::kDelete, &table, row, {}});
@@ -281,6 +418,14 @@ void SVEngine::ReleaseAllLocks(SVTransaction* txn) {
     }
   }
   txn->locks.clear();
+  for (const auto& r : txn->range_locks) {
+    if (r.point) {
+      r.manager->ReleasePoint(txn->id, r.lo);
+    } else {
+      r.manager->ReleaseRange(txn->id, r.lo, r.hi);
+    }
+  }
+  txn->range_locks.clear();
 }
 
 void SVEngine::WriteLog(SVTransaction* txn) {

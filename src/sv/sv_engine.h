@@ -48,6 +48,8 @@ struct SVEngineOptions {
   uint64_t lock_timeout_us = 2000;
   LogMode log_mode = LogMode::kAsync;
   std::string log_path;
+  /// fsync each flushed batch (see DatabaseOptions::fsync_log).
+  bool fsync_log = false;
   /// Recycle row slots through per-table slabs and transaction objects
   /// through a pool (mem/); off = plain heap (debug fallback).
   bool use_slab_allocator = true;
@@ -66,6 +68,7 @@ class SVTransaction {
     id = new_id;
     isolation = new_isolation;
     locks.clear();
+    range_locks.clear();
     undo.clear();
   }
 
@@ -75,6 +78,16 @@ class SVTransaction {
   struct LockEntry {
     KeyLock* lock;
     bool exclusive;
+  };
+
+  /// One registered predicate-lock entry (RangeLockManager): a scanned
+  /// range (shared) or a written key (point). `point` distinguishes; a
+  /// point entry stores its key in `lo`.
+  struct RangeLockHold {
+    RangeLockManager* manager;
+    uint64_t lo;
+    uint64_t hi;
+    bool point;
   };
 
   enum class UndoOp : uint8_t { kInsert, kUpdate, kDelete };
@@ -87,6 +100,7 @@ class SVTransaction {
   };
 
   std::vector<LockEntry> locks;
+  std::vector<RangeLockHold> range_locks;
   std::vector<UndoEntry> undo;
 
   /// Find this transaction's hold on `lock`, or nullptr.
@@ -116,6 +130,16 @@ class SVEngine {
   Status Scan(SVTransaction* txn, TableId table_id, IndexId index_id,
               uint64_t key, const std::function<bool(const void*)>& residual,
               const std::function<bool(const void*)>& consumer);
+  /// Visit every row whose `index_id` key lies in [lo, hi], ascending.
+  /// `index_id` must name an ordered index. Rows are read under their
+  /// ordered-key hash locks (short under Read Committed, held to commit
+  /// otherwise); serializable scans additionally register the range in the
+  /// index's RangeLockManager, so conflicting inserts/deletes wait or time
+  /// out (phantom protection by locking, the 1V way).
+  Status ScanRange(SVTransaction* txn, TableId table_id, IndexId index_id,
+                   uint64_t lo, uint64_t hi,
+                   const std::function<bool(const void*)>& residual,
+                   const std::function<bool(const void*)>& consumer);
   /// Visit every row of the table. Each row is read under a briefly-held
   /// shared key lock (cursor stability), so payloads are never torn but the
   /// scan as a whole is not a consistent snapshot (single-version storage
@@ -144,10 +168,31 @@ class SVEngine {
   Status AcquireLock(SVTransaction* txn, SVLockTable& locks, uint64_t key,
                      bool exclusive, SVTransaction::LockEntry** entry_out);
 
-  /// Find the row for `key` in the index chain. Caller must hold the key
+  /// Find the row for `key` on any index kind. Caller must hold the key
   /// lock (any mode) and an epoch guard.
-  Version* FindRow(HashIndex& index, uint64_t key,
+  Version* FindRow(Table& table, IndexId index_id, uint64_t key,
                    const std::function<bool(const void*)>& residual);
+
+  /// Register point entries for `payload`'s key in every ordered index's
+  /// RangeLockManager (insert/delete paths; blocks while a serializable
+  /// scanner covers the key). Returns a lock-timeout abort status on
+  /// expiry.
+  Status AcquireOrderedPoints(SVTransaction* txn, TableId table_id,
+                              Table& table, const void* payload);
+
+  /// Read one traversal-discovered row under its `index_id` key lock:
+  /// acquire shared (or reuse a held entry), re-validate that the row is
+  /// still linked (the walk found it before the lock was granted, so an
+  /// aborted insert or committed delete may have unlinked it while we
+  /// waited), then run residual + consumer. `cursor_stability` releases
+  /// the lock after the row regardless of isolation (full-table scans);
+  /// otherwise only Read Committed releases early. Sets *keep_going from
+  /// the consumer; returns a lock-timeout abort status on expiry.
+  Status ReadRowForScan(SVTransaction* txn, Table& table, IndexId index_id,
+                        SVLockTable& locks, Version* v, bool cursor_stability,
+                        const std::function<bool(const void*)>& residual,
+                        const std::function<bool(const void*)>& consumer,
+                        bool* keep_going);
 
   void ReleaseAllLocks(SVTransaction* txn);
   void WriteLog(SVTransaction* txn);
@@ -160,6 +205,9 @@ class SVEngine {
   Catalog catalog_;
   ObjectPool<SVTransaction> txn_pool_;
   std::vector<std::unique_ptr<SVLockTable>> lock_tables_;  // [table][index]
+  /// Parallel to lock_tables_: a RangeLockManager per ordered index
+  /// (nullptr for hash slots).
+  std::vector<std::unique_ptr<RangeLockManager>> range_locks_;
   std::vector<uint32_t> lock_table_base_;  // table id -> first lock table
   EpochManager epoch_;
   std::unique_ptr<Logger> logger_;

@@ -11,15 +11,29 @@
 
 namespace mvstore {
 
+/// Outcome of a commit-dependency registration attempt.
+enum class CommitDepOutcome {
+  kRegistered,          ///< dependency taken; provider will report
+  kProviderCommitted,   ///< provider already committed; proceed without one
+  kProviderAborted,     ///< provider already aborted; its versions are garbage
+  kProviderTerminated,  ///< provider gone; reread the version word for truth
+};
+
 /// Register a commit dependency of `dependent` on `provider`.
 ///
 /// Handles the races against provider resolution: if the provider already
-/// committed there is nothing to wait for; if it already aborted the
-/// dependent must cascade. Returns true if the dependent may proceed
-/// (dependency registered or provider committed), false if the dependent
-/// must abort because the provider aborted.
-inline bool RegisterCommitDependency(Transaction* dependent,
-                                     Transaction* provider) {
+/// committed there is nothing to wait for; if it already aborted its
+/// versions are garbage. A provider observed Terminated is ambiguous — the
+/// caller read the transaction ID out of a version word *before* the
+/// provider finalized it, so commit and abort are both possible. By the
+/// time the state reads Terminated the provider has finalized that word
+/// (Postprocess happens-before the Terminated store), so the caller must
+/// reread the version word, which now holds the truth. Treating Terminated
+/// as committed here is wrong: an aborted-then-terminated provider would
+/// make a speculative reader consume a garbage version with no dependency
+/// recorded (a torn read no one ever reports).
+inline CommitDepOutcome RegisterCommitDependency(Transaction* dependent,
+                                                 Transaction* provider) {
   // Count first so the provider's drain can never miss a registered-but-
   // uncounted dependency.
   dependent->commit_dep_counter.fetch_add(1, std::memory_order_acq_rel);
@@ -29,18 +43,13 @@ inline bool RegisterCommitDependency(Transaction* dependent,
     if ((s == TxnState::kPreparing || s == TxnState::kActive) &&
         !provider->deps_drained) {
       provider->commit_dep_set.push_back(dependent->id);
-      return true;
+      return CommitDepOutcome::kRegistered;
     }
     // Provider already resolved; undo the provisional count.
     dependent->commit_dep_counter.fetch_sub(1, std::memory_order_acq_rel);
-    if (s == TxnState::kCommitted || s == TxnState::kTerminated) {
-      // Terminated providers must have committed: an aborted provider's
-      // version words would have been reset, so the caller would not have
-      // found its ID. Treat as resolved-committed either way: if it aborted,
-      // the version re-read in visibility code yields the right answer.
-      return true;
-    }
-    return false;  // provider aborted -> cascade
+    if (s == TxnState::kCommitted) return CommitDepOutcome::kProviderCommitted;
+    if (s == TxnState::kAborted) return CommitDepOutcome::kProviderAborted;
+    return CommitDepOutcome::kProviderTerminated;
   }
 }
 

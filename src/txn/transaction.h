@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/hash_index.h"
+#include "storage/ordered_index.h"
 #include "storage/version.h"
 
 namespace mvstore {
@@ -71,6 +72,19 @@ struct ScanSetEntry {
   Table* table = nullptr;
   HashIndex* index = nullptr;
   uint64_t key = 0;
+  std::function<bool(const void* payload)> residual;  // may be null
+};
+
+/// One entry per ordered-index range scan under serializable. The scanned
+/// range joins the transaction's read footprint and is rescanned at
+/// precommit: a version visible at the end timestamp but not at the begin
+/// timestamp is a phantom (the paper's Section 3.2 check, extended from
+/// hash buckets to key ranges).
+struct RangeScanSetEntry {
+  Table* table = nullptr;
+  OrderedIndex* index = nullptr;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
   std::function<bool(const void* payload)> residual;  // may be null
 };
 
@@ -128,6 +142,7 @@ class Transaction {
     blocked.store(false, std::memory_order_relaxed);
     read_set.clear();
     scan_set.clear();
+    range_scan_set.clear();
     write_set.clear();
     bucket_lock_set.clear();
     // wake_events deliberately survives: it is a monotonic event counter and
@@ -191,6 +206,7 @@ class Transaction {
   mutable SpinLatch read_set_latch;
   std::vector<ReadSetEntry> read_set;
   std::vector<ScanSetEntry> scan_set;
+  std::vector<RangeScanSetEntry> range_scan_set;
   std::vector<WriteSetEntry> write_set;
   std::vector<BucketLockEntry> bucket_lock_set;
 
@@ -231,9 +247,34 @@ class Transaction {
     scan_set.push_back(ScanSetEntry{table, index, key, std::move(residual)});
   }
 
+  void AddRangeScan(Table* table, OrderedIndex* index, uint64_t lo,
+                    uint64_t hi, std::function<bool(const void*)> residual) {
+    range_scan_set.push_back(
+        RangeScanSetEntry{table, index, lo, hi, std::move(residual)});
+  }
+
   void AddWrite(Table* table, Version* old_version, Version* new_version) {
     write_set.push_back(WriteSetEntry{table, old_version, new_version});
   }
 };
+
+/// End timestamp of a transaction observed in Preparing (or later) state.
+///
+/// Precommit publishes Preparing *before* drawing the end timestamp (see
+/// MVEngine::Commit): that ordering is what lets a reader that still
+/// observes Active conclude the writer's end timestamp — whenever it is
+/// drawn — will exceed the reader's read time. The cost is this window:
+/// a reader can catch state == Preparing with end_ts not yet stored (it is
+/// reset to 0 between incarnations). Spin it out; the writer is between
+/// two adjacent stores, so the wait is a few instructions unless it gets
+/// descheduled.
+inline Timestamp AwaitEndTimestamp(const Transaction* txn) {
+  Timestamp ts = txn->end_ts.load(std::memory_order_acquire);
+  while (ts == 0) {
+    CpuRelax();
+    ts = txn->end_ts.load(std::memory_order_acquire);
+  }
+  return ts;
+}
 
 }  // namespace mvstore

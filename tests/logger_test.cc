@@ -116,6 +116,28 @@ TEST(LoggerTest, SyncWaitsForFlush) {
   EXPECT_EQ(sink->Contents().size(), 3u);
 }
 
+/// DatabaseOptions::fsync_log: the fsync'd sink must behave identically at
+/// the API level (bytes land in the file); the durability difference is
+/// only observable across an OS crash, which a unit test cannot stage.
+TEST(LoggerTest, FsyncModeWritesIdenticalBytes) {
+  const std::string path = ::testing::TempDir() + "/fsync_sink.log";
+  {
+    auto* sink = new FileLogSink(path, /*use_fsync=*/true);
+    ASSERT_TRUE(sink->ok());
+    Logger logger(LogMode::kSync, sink);
+    std::vector<uint8_t> rec{7, 7, 7, 7, 7};
+    logger.Append(rec);  // returns only after an fsync'd flush
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  uint8_t buffer[16] = {0};
+  size_t n = std::fread(buffer, 1, sizeof(buffer), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_EQ(n, 5u);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(buffer[i], 7);
+}
+
 TEST(LoggerTest, DisabledDropsEverything) {
   Logger logger(LogMode::kDisabled, nullptr);
   std::vector<uint8_t> rec{1};

@@ -109,8 +109,10 @@ TEST(CommitDepTest, CountAndDrain) {
   table.Insert(&dep_a);
   table.Insert(&dep_b);
 
-  EXPECT_TRUE(RegisterCommitDependency(&dep_a, &provider));
-  EXPECT_TRUE(RegisterCommitDependency(&dep_b, &provider));
+  EXPECT_EQ(RegisterCommitDependency(&dep_a, &provider),
+            CommitDepOutcome::kRegistered);
+  EXPECT_EQ(RegisterCommitDependency(&dep_b, &provider),
+            CommitDepOutcome::kRegistered);
   EXPECT_EQ(dep_a.commit_dep_counter.load(), 1u);
   EXPECT_EQ(dep_b.commit_dep_counter.load(), 1u);
 
@@ -132,7 +134,8 @@ TEST(CommitDepTest, DrainedProviderRejectsLateRegistration) {
   provider.state.store(TxnState::kCommitted);
   ResolveCommitDependencies(&provider, true, table);
   // Late registration sees the committed state: no wait needed.
-  EXPECT_TRUE(RegisterCommitDependency(&late, &provider));
+  EXPECT_EQ(RegisterCommitDependency(&late, &provider),
+            CommitDepOutcome::kProviderCommitted);
   EXPECT_EQ(late.commit_dep_counter.load(), 0u);
 }
 

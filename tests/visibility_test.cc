@@ -402,14 +402,28 @@ TEST_F(VisibilityTest, ProviderAbortCascades) {
 TEST_F(VisibilityTest, RegisterOnAlreadyCommittedProviderIsNoWait) {
   Transaction* self = NewTxn(100, TxnState::kActive);
   Transaction* tb = NewTxn(200, TxnState::kCommitted, 30);
-  EXPECT_TRUE(RegisterCommitDependency(self, tb));
+  EXPECT_EQ(RegisterCommitDependency(self, tb),
+            CommitDepOutcome::kProviderCommitted);
   EXPECT_EQ(self->commit_dep_counter.load(), 0u);
 }
 
 TEST_F(VisibilityTest, RegisterOnAbortedProviderFails) {
   Transaction* self = NewTxn(100, TxnState::kActive);
   Transaction* tb = NewTxn(200, TxnState::kAborted);
-  EXPECT_FALSE(RegisterCommitDependency(self, tb));
+  EXPECT_EQ(RegisterCommitDependency(self, tb),
+            CommitDepOutcome::kProviderAborted);
+  EXPECT_EQ(self->commit_dep_counter.load(), 0u);
+}
+
+TEST_F(VisibilityTest, RegisterOnTerminatedProviderIsAmbiguous) {
+  // A Terminated provider may have committed OR aborted; the version word
+  // it finalized is the only truth. Registration must not report
+  // "committed" (a speculative reader would consume an aborted provider's
+  // garbage version with no dependency recorded).
+  Transaction* self = NewTxn(100, TxnState::kActive);
+  Transaction* tb = NewTxn(200, TxnState::kTerminated, 30);
+  EXPECT_EQ(RegisterCommitDependency(self, tb),
+            CommitDepOutcome::kProviderTerminated);
   EXPECT_EQ(self->commit_dep_counter.load(), 0u);
 }
 
