@@ -41,6 +41,10 @@ for ((rep = 0; rep < REPEATS; ++rep)) do
   run "fig5_heap.${rep}" "${BUILD_DIR}/fig5_scalability_high" --slab 0
   run "tatp_slab.${rep}" "${BUILD_DIR}/table4_tatp"
   run "tatp_heap.${rep}" "${BUILD_DIR}/table4_tatp" --slab 0
+  # Recovery time (log replay records/sec over a replay-thread sweep);
+  # ignores --seconds, sized by RECOVERY_TXNS instead.
+  run "recovery.${rep}"  "${BUILD_DIR}/recovery_bench" \
+      --txns "${RECOVERY_TXNS:-200000}"
 done
 
 python3 - "${OUT}" "${tmp}"/*.json <<'EOF'
@@ -59,5 +63,5 @@ for runs in samples.values():
 with open(out, "w") as fh:
     json.dump(rows, fh, indent=1)
     fh.write("\n")
-print(f"wrote {out}: {len(rows)} points (median of {len(files) // 5} runs)")
+print(f"wrote {out}: {len(rows)} points (median of {len(files) // 6} runs)")
 EOF

@@ -1,5 +1,7 @@
 #include "cc/mv_engine.h"
 
+#include "log/log_segment.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -44,8 +46,14 @@ MVEngine::MVEngine(MVEngineOptions options)
   if (options_.log_mode != LogMode::kDisabled) {
     if (options_.log_path.empty()) {
       sink = new NullLogSink();
+    } else if (options_.log_segment_bytes > 0) {
+      sink = new SegmentedLogSink(
+          options_.log_path,
+          SegmentedLogSink::Options{options_.log_segment_bytes,
+                                    options_.fsync_log},
+          &stats_);
     } else {
-      sink = new FileLogSink(options_.log_path, options_.fsync_log);
+      sink = new FileLogSink(options_.log_path, options_.fsync_log, &stats_);
     }
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink);
@@ -932,6 +940,7 @@ Status MVEngine::ValidateRangeScans(Transaction* txn) {
 
 void MVEngine::WriteLog(Transaction* txn) {
   if (logger_->mode() == LogMode::kDisabled || txn->write_set.empty()) return;
+  if (logger_->replay_paused()) return;  // recovery: record already on disk
   thread_local std::vector<uint8_t> buffer;
   buffer.clear();
   LogRecordBuilder builder(buffer);

@@ -44,6 +44,10 @@ struct MVEngineOptions {
   std::string log_path;
   /// fsync each flushed batch (see DatabaseOptions::fsync_log).
   bool fsync_log = false;
+  /// > 0: log_path names a rotating-segment prefix (log/log_segment.h) and
+  /// segments rotate at this size, enabling checkpoint truncation.
+  /// 0: log_path is one append-only file (no rotation, no truncation).
+  uint64_t log_segment_bytes = 0;
 
   /// Background garbage collection sweep interval; 0 disables the thread
   /// (cooperative GC still runs).

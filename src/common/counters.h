@@ -39,6 +39,15 @@ enum class Stat : uint32_t {
   kSlabSlotsRecycled,
   kTxnPoolHits,
   kTxnPoolMisses,
+  kLogSegmentsRotated,
+  kLogSegmentsDeleted,
+  kLogWriteErrors,
+  kCheckpointsTaken,
+  kRecoveryTornTails,
+  kRecoveryTornBytesDropped,
+  kRecoveryRecordsReplayed,
+  kRecoveryRecordsSkipped,
+  kRecoveryIdempotentApplies,
   kNumStats,
 };
 
@@ -52,6 +61,10 @@ inline const char* StatName(Stat stat) {
       "versions_collected", "deadlocks_detected", "lock_waits",
       "slab_chunks_allocated", "slab_magazine_hits", "slab_magazine_misses",
       "slab_slots_recycled", "txn_pool_hits",     "txn_pool_misses",
+      "log_segments_rotated", "log_segments_deleted", "log_write_errors",
+      "checkpoints_taken",  "recovery_torn_tails",
+      "recovery_torn_bytes_dropped", "recovery_records_replayed",
+      "recovery_records_skipped", "recovery_idempotent_applies",
   };
   return kNames[static_cast<uint32_t>(stat)];
 }

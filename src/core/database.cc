@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <cstdio>
+
 namespace mvstore {
 
 Database::Database(DatabaseOptions options)
@@ -10,6 +12,7 @@ Database::Database(DatabaseOptions options)
     sv.log_mode = options_.log_mode;
     sv.log_path = options_.log_path;
     sv.fsync_log = options_.fsync_log;
+    sv.log_segment_bytes = options_.log_segment_bytes;
     sv.use_slab_allocator = options_.use_slab_allocator;
     sv_ = std::make_unique<SVEngine>(sv);
   } else {
@@ -18,10 +21,20 @@ Database::Database(DatabaseOptions options)
     mv.log_mode = options_.log_mode;
     mv.log_path = options_.log_path;
     mv.fsync_log = options_.fsync_log;
+    mv.log_segment_bytes = options_.log_segment_bytes;
     mv.gc_interval_us = options_.gc_interval_us;
     mv.deadlock_interval_us = options_.deadlock_interval_us;
     mv.use_slab_allocator = options_.use_slab_allocator;
     mv_ = std::make_unique<MVEngine>(mv);
+  }
+  // A dead sink at construction (bad path, permissions, full disk) means
+  // every commit from here on would silently lose durability; say so once,
+  // loudly. Database::Open turns this into a hard error.
+  if (!log_status().ok()) {
+    std::fprintf(stderr,
+                 "mvstore: database log sink on '%s' is broken; commits will "
+                 "NOT be durable (check Database::log_status())\n",
+                 options_.log_path.c_str());
   }
 }
 
@@ -35,6 +48,37 @@ TableId Database::CreateTable(TableDef def) {
 uint32_t Database::PayloadSize(TableId table_id) {
   return mv_ != nullptr ? mv_->table(table_id).payload_size()
                         : sv_->table(table_id).payload_size();
+}
+
+uint32_t Database::NumTables() {
+  return mv_ != nullptr ? mv_->catalog().num_tables()
+                        : sv_->catalog().num_tables();
+}
+
+const std::string& Database::TableName(TableId table_id) {
+  return mv_ != nullptr ? mv_->table(table_id).name()
+                        : sv_->table(table_id).name();
+}
+
+uint64_t Database::PrimaryKeyOfPayload(TableId table_id, const void* payload) {
+  Table& table = mv_ != nullptr ? mv_->table(table_id) : sv_->table(table_id);
+  return table.IndexKeyOfPayload(0, payload);
+}
+
+Logger& Database::logger() {
+  return mv_ != nullptr ? mv_->logger() : sv_->logger();
+}
+
+Timestamp Database::LastCommitTimestamp() {
+  return mv_ != nullptr ? mv_->ts_gen().Current() : sv_->commit_clock();
+}
+
+void Database::AdvanceCommitTimestamp(Timestamp floor) {
+  if (mv_ != nullptr) {
+    mv_->ts_gen().AdvanceTo(floor);
+  } else {
+    sv_->AdvanceCommitClock(floor);
+  }
 }
 
 Txn* Database::Begin(IsolationLevel isolation, bool read_only) {

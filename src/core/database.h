@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cc/mv_engine.h"
@@ -35,7 +36,11 @@ struct DatabaseOptions {
 
   /// Logging (paper configuration: asynchronous group commit).
   LogMode log_mode = LogMode::kAsync;
-  /// Empty: in-memory byte-counting sink. Otherwise a file path.
+  /// Empty: in-memory byte-counting sink. Otherwise a file path (or, with
+  /// log_segment_bytes > 0, a rotating-segment prefix). Existing log data on
+  /// the path is preserved: sinks open in append mode, so a reopened
+  /// database continues the log rather than truncating history. Use
+  /// Database::Open (or RecoverDatabase) to replay that history first.
   std::string log_path;
   /// Durability of file-backed logs. Default (false): batches are flushed
   /// with fflush only — they survive a process crash but NOT an OS crash or
@@ -43,6 +48,19 @@ struct DatabaseOptions {
   /// with LogMode::kSync, commit then waits on an fsync'd batch). Only
   /// meaningful when log_path is set.
   bool fsync_log = false;
+  /// > 0: segmented log — log_path is a prefix producing
+  /// `<log_path>.<seq>.seg` files rotated at this size, which is what lets a
+  /// completed checkpoint delete (truncate) covered segments. 0: log_path is
+  /// one append-only file; checkpoints still work but reclaim nothing.
+  uint64_t log_segment_bytes = 0;
+  /// Checkpoint file location used by Database::Checkpoint() and by
+  /// Database::Open() at recovery. Empty: no checkpointing; recovery is a
+  /// full-log replay.
+  std::string checkpoint_path;
+  /// Worker threads for log replay in Database::Open (the paper's "multiple
+  /// log streams" observation: records partition by primary key and replay
+  /// in end-timestamp order per key). 1 = serial replay.
+  uint32_t recovery_threads = 1;
 
   /// MV engines: see MVEngineOptions.
   bool honor_locks = true;
@@ -78,6 +96,8 @@ struct Txn {
   IsolationLevel isolation = IsolationLevel::kReadCommitted;
 };
 
+struct RecoveryReport;
+
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -86,13 +106,37 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Recover-then-continue: construct a database, let `define_schema` create
+  /// the tables (the schema is code — extractor function pointers — so it
+  /// cannot live in the log), then replay the durable state on
+  /// options.log_path / options.checkpoint_path: load the checkpoint if one
+  /// exists, replay the log tail (torn tail truncated, counted, and
+  /// reported), and advance the commit clock past every replayed timestamp
+  /// so the continued log stays correctly ordered. On success the returned
+  /// database holds exactly the recovered state and appends to the same log.
+  /// On failure returns nullptr and sets *status (if non-null).
+  static std::unique_ptr<Database> Open(
+      const DatabaseOptions& options,
+      const std::function<void(Database&)>& define_schema,
+      Status* status = nullptr, RecoveryReport* report = nullptr);
+
   Scheme scheme() const { return options_.scheme; }
+  const DatabaseOptions& options() const { return options_; }
 
   /// Create a table; index 0 is the primary index.
   TableId CreateTable(TableDef def);
 
   /// Number of payload bytes per row of `table_id`.
   uint32_t PayloadSize(TableId table_id);
+
+  /// Number of tables created so far.
+  uint32_t NumTables();
+
+  /// Name a table was created with.
+  const std::string& TableName(TableId table_id);
+
+  /// Primary (index 0) key of a payload of `table_id`.
+  uint64_t PrimaryKeyOfPayload(TableId table_id, const void* payload);
 
   /// --- transactions ---------------------------------------------------------
 
@@ -136,6 +180,37 @@ class Database {
                         const std::function<Status(Txn*)>& body,
                         uint32_t max_retries = 1000);
 
+  /// --- durability -------------------------------------------------------------
+
+  /// The engine's group-commit logger (valid in every LogMode; inert when
+  /// kDisabled).
+  Logger& logger();
+
+  /// Health of the log sink: OK, or Internal once an open/write failure has
+  /// dropped bytes (also surfaced on stderr at construction). A database
+  /// whose log sink is broken keeps serving transactions but cannot promise
+  /// durability.
+  Status log_status() { return logger().sink_status(); }
+
+  /// Write a checkpoint to options.checkpoint_path (see core/checkpoint.h):
+  /// rotate the log, scan every table at a consistent point, atomically
+  /// publish the checkpoint file, then delete log segments it covers.
+  /// InvalidArgument if options.checkpoint_path is empty.
+  Status Checkpoint();
+
+  /// Largest commit timestamp any written log record can carry so far.
+  Timestamp LastCommitTimestamp();
+
+  /// Raise the commit clock to at least `floor` (recovery only; see
+  /// TimestampGenerator::AdvanceTo).
+  void AdvanceCommitTimestamp(Timestamp floor);
+
+  /// Serializes checkpoint passes against each other (Checkpointer::Take
+  /// locks this): two interleaved writers on the same temp file would
+  /// publish a checksum-corrupt checkpoint after the covered segments were
+  /// already deleted — an unrecoverable state.
+  std::mutex& checkpoint_mutex() { return checkpoint_mutex_; }
+
   /// --- introspection ----------------------------------------------------------
 
   StatsCollector& stats();
@@ -151,6 +226,7 @@ class Database {
   std::unique_ptr<MVEngine> mv_;
   std::unique_ptr<SVEngine> sv_;
   ObjectPool<Txn> txn_handle_pool_;
+  std::mutex checkpoint_mutex_;
 };
 
 }  // namespace mvstore

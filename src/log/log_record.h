@@ -83,14 +83,19 @@ class LogRecordBuilder {
   }
 
  private:
+  // resize + memcpy rather than vector::insert: same codegen, but insert's
+  // range path trips a GCC 12 -Wstringop-overflow false positive when
+  // inlined into callers at -O3.
   template <typename T>
   void Put(T value) {
-    const auto* p = reinterpret_cast<const uint8_t*>(&value);
-    out_.insert(out_.end(), p, p + sizeof(T));
+    const size_t old_size = out_.size();
+    out_.resize(old_size + sizeof(T));
+    std::memcpy(out_.data() + old_size, &value, sizeof(T));
   }
   void PutBytes(const void* data, size_t n) {
-    const auto* p = static_cast<const uint8_t*>(data);
-    out_.insert(out_.end(), p, p + n);
+    const size_t old_size = out_.size();
+    out_.resize(old_size + n);
+    std::memcpy(out_.data() + old_size, data, n);
   }
 
   std::vector<uint8_t>& out_;
@@ -131,11 +136,17 @@ inline bool ParseLogRecord(const std::vector<uint8_t>& buf, size_t& pos,
     ParsedLogOp op;
     uint8_t op_byte = 0;
     if (!get(&op_byte, 1) || !get(&op.table, 4)) return false;
+    // A torn or corrupt tail can yield any byte here; an unknown opcode must
+    // fail the parse, not fall through with an uninitialized op.
+    if (op_byte > static_cast<uint8_t>(LogOp::kDelete)) return false;
     op.op = static_cast<LogOp>(op_byte);
     switch (op.op) {
       case LogOp::kInsert: {
         uint32_t size = 0;
         if (!get(&size, 4)) return false;
+        // Bound-check before resize: a garbage length must not trigger a
+        // multi-gigabyte allocation on the recovery path.
+        if (size > buf.size() - pos) return false;
         op.bytes.resize(size);
         if (!get(op.bytes.data(), size)) return false;
         break;
@@ -145,6 +156,7 @@ inline bool ParseLogRecord(const std::vector<uint8_t>& buf, size_t& pos,
         if (!get(&op.key, 8) || !get(&op.offset, 4) || !get(&len, 4)) {
           return false;
         }
+        if (len > buf.size() - pos) return false;
         op.bytes.resize(len);
         if (!get(op.bytes.data(), len)) return false;
         break;

@@ -1,0 +1,171 @@
+#include "log/log_segment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace mvstore {
+namespace logseg {
+
+std::string SegmentPath(const std::string& prefix, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".%08llu.seg",
+                static_cast<unsigned long long>(seq));
+  return prefix + buf;
+}
+
+std::vector<SegmentFile> ListSegments(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::vector<SegmentFile> segments;
+  fs::path p(prefix);
+  fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  std::string base = p.filename().string() + ".";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // base + digits + ".seg". SegmentPath zero-pads to 8 digits but %08llu
+    // widens past 10^8 rotations, so accept any run of >= 8 digits — the
+    // lister must recognize everything the writer can emit.
+    if (name.size() < base.size() + 12 || name.rfind(base, 0) != 0 ||
+        name.compare(name.size() - 4, 4, ".seg") != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(base.size(), name.size() - base.size() - 4);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    SegmentFile f;
+    f.seq = std::strtoull(digits.c_str(), nullptr, 10);
+    f.path = entry.path().string();
+    std::error_code size_ec;
+    f.size = static_cast<uint64_t>(fs::file_size(entry.path(), size_ec));
+    if (size_ec) f.size = 0;
+    segments.push_back(std::move(f));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  return segments;
+}
+
+}  // namespace logseg
+
+SegmentedLogSink::SegmentedLogSink(std::string prefix, Options options,
+                                   StatsCollector* stats)
+    : prefix_(std::move(prefix)), options_(options), stats_(stats) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<logseg::SegmentFile> existing = logseg::ListSegments(prefix_);
+  OpenSegmentLocked(existing.empty() ? 1 : existing.back().seq);
+}
+
+SegmentedLogSink::~SegmentedLogSink() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SegmentedLogSink::OpenSegmentLocked(uint64_t seq) {
+  const std::string path = logseg::SegmentPath(prefix_, seq);
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  uint64_t size = static_cast<uint64_t>(fs::file_size(path, ec));
+  if (ec) size = 0;
+  if (size > 0 && size < logseg::kHeaderSize) {
+    // Crash between creation and the header write; no records inside.
+    fs::resize_file(path, 0, ec);
+    size = 0;
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    Fail("fopen");
+    return;
+  }
+  seq_ = seq;
+  segment_size_ = size;
+  if (size == 0) {
+    uint8_t header[logseg::kHeaderSize];
+    std::memcpy(header, logseg::kSegmentMagic, sizeof(logseg::kSegmentMagic));
+    std::memcpy(header + sizeof(logseg::kSegmentMagic), &seq, sizeof(seq));
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+      Fail("fwrite(header)");
+      return;
+    }
+    std::fflush(file_);
+    segment_size_ = logseg::kHeaderSize;
+  }
+}
+
+void SegmentedLogSink::RotateLocked() {
+  if (file_ != nullptr) {
+    bool synced = std::fflush(file_) == 0;
+    if (synced && options_.use_fsync) synced = PortableFsync(file_);
+    if (!synced) Fail("flush at rotation");
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  OpenSegmentLocked(seq_ + 1);
+  if (stats_ != nullptr) stats_->Add(Stat::kLogSegmentsRotated);
+}
+
+void SegmentedLogSink::Write(const uint8_t* data, size_t size) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (segment_size_ > logseg::kHeaderSize &&
+      segment_size_ + size > options_.segment_bytes) {
+    RotateLocked();
+  }
+  if (file_ == nullptr) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    Fail("fwrite");
+    return;
+  }
+  segment_size_ += size;
+}
+
+void SegmentedLogSink::Sync() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (file_ == nullptr) return;
+  // See FileLogSink::Sync: buffered-write and device-writeback failures
+  // both surface here.
+  bool synced = std::fflush(file_) == 0;
+  if (synced && options_.use_fsync) synced = PortableFsync(file_);
+  if (!synced) Fail("flush/fsync");
+}
+
+uint64_t SegmentedLogSink::current_seq() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return seq_;
+}
+
+uint64_t SegmentedLogSink::Rotate() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  RotateLocked();
+  return seq_;
+}
+
+uint64_t SegmentedLogSink::RemoveSegmentsBelow(uint64_t seq) {
+  // Listing and unlinking need no lock: Rotate only ever creates files with
+  // *larger* sequence numbers, so the set below `seq` is stable.
+  uint64_t removed = 0;
+  namespace fs = std::filesystem;
+  for (const logseg::SegmentFile& f : logseg::ListSegments(prefix_)) {
+    if (f.seq >= seq) break;
+    std::error_code ec;
+    if (fs::remove(f.path, ec) && !ec) {
+      ++removed;
+      if (stats_ != nullptr) stats_->Add(Stat::kLogSegmentsDeleted);
+    }
+  }
+  return removed;
+}
+
+void SegmentedLogSink::Fail(const char* what) {
+  if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "mvstore: segmented log sink '%s' failed in %s; further "
+                 "commit records will NOT be durable\n",
+                 prefix_.c_str(), what);
+  }
+  if (stats_ != nullptr) stats_->Add(Stat::kLogWriteErrors);
+}
+
+}  // namespace mvstore

@@ -1,0 +1,110 @@
+// Segmented redo-log output: the log as a sequence of rotating files.
+//
+// A single append-only log file cannot be truncated from the front, so a
+// checkpoint could never reclaim the bytes it makes redundant. Segmenting
+// fixes that: the logger writes to `<prefix>.<seq>.seg` files, rotating to a
+// new sequence number when the current segment exceeds a size target, and a
+// completed checkpoint deletes every segment whose records it wholly covers
+// (see core/checkpoint.h for the covering rule).
+//
+// Invariants the rest of the durability subsystem relies on:
+//  * Segment sequence numbers start at 1 and increase monotonically; the
+//    file name and the 16-byte segment header both carry the number.
+//  * A batch handed to Write() is never split across segments, and batches
+//    are whole commit records, so every segment is independently parseable.
+//  * Reopening an existing prefix resumes appending to the highest-numbered
+//    segment; nothing is ever truncated at open time except a segment too
+//    short to hold its own header (a crash landed between file creation and
+//    the header write — it provably contains no records).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "log/logger.h"
+
+namespace mvstore {
+namespace logseg {
+
+/// Bytes 0-7 of every segment file.
+inline constexpr char kSegmentMagic[8] = {'M', 'V', 'S', 'E', 'G', '0', '0', '1'};
+/// Magic (8B) + sequence number (8B).
+inline constexpr size_t kHeaderSize = 16;
+
+/// `<prefix>.<seq, 8 digits>.seg`
+std::string SegmentPath(const std::string& prefix, uint64_t seq);
+
+struct SegmentFile {
+  uint64_t seq = 0;
+  std::string path;
+  uint64_t size = 0;
+};
+
+/// All existing segment files for `prefix`, sorted by sequence number.
+std::vector<SegmentFile> ListSegments(const std::string& prefix);
+
+}  // namespace logseg
+
+/// Rotating-segment log sink (see file comment). Thread-safe: the logger's
+/// flusher thread calls Write/Sync while a checkpointer may concurrently
+/// Rotate or RemoveSegmentsBelow.
+class SegmentedLogSink : public LogSink {
+ public:
+  struct Options {
+    /// Rotate once the current segment reaches this many bytes. A batch
+    /// larger than the target gets a segment to itself (records are never
+    /// split). Must be > 0.
+    uint64_t segment_bytes = 64ull << 20;
+    /// fsync every Sync() (see DatabaseOptions::fsync_log).
+    bool use_fsync = false;
+  };
+
+  SegmentedLogSink(std::string prefix, Options options,
+                   StatsCollector* stats = nullptr);
+  ~SegmentedLogSink() override;
+
+  void Write(const uint8_t* data, size_t size) override;
+  void Sync() override;
+  Status status() const override {
+    return failed_.load(std::memory_order_acquire) ? Status::Internal()
+                                                   : Status::OK();
+  }
+
+  /// Sequence number of the segment currently receiving appends.
+  uint64_t current_seq() const;
+
+  /// Close the current segment and open the next one. Returns the new
+  /// segment's sequence number; every record flushed before this call lives
+  /// in a segment with a smaller number.
+  uint64_t Rotate();
+
+  /// Delete every segment file with sequence number < `seq` (checkpoint
+  /// truncation). Returns the number of files removed.
+  uint64_t RemoveSegmentsBelow(uint64_t seq);
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  /// Open segment `seq` (append). Writes a fresh header when the file is
+  /// empty; truncates first when it is shorter than a header.
+  void OpenSegmentLocked(uint64_t seq);
+  void RotateLocked();
+  void Fail(const char* what);
+
+  const std::string prefix_;
+  const Options options_;
+  StatsCollector* const stats_;
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+  uint64_t segment_size_ = 0;  // bytes in the current segment, header included
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace mvstore

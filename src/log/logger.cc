@@ -8,15 +8,52 @@
 
 namespace mvstore {
 
+bool PortableFsync(std::FILE* file) {
+#if defined(_WIN32)
+  return _commit(_fileno(file)) == 0;
+#else
+  return ::fsync(fileno(file)) == 0;
+#endif
+}
+
+FileLogSink::FileLogSink(const std::string& path, bool use_fsync,
+                         StatsCollector* stats)
+    : use_fsync_(use_fsync), stats_(stats) {
+  // Append, not truncate: an existing log on this path is prior committed
+  // history (recover-then-continue), not scratch space.
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    failed_.store(true, std::memory_order_release);
+    std::fprintf(stderr, "mvstore: cannot open log file '%s' for append\n",
+                 path.c_str());
+    if (stats_ != nullptr) stats_->Add(Stat::kLogWriteErrors);
+  }
+}
+
+void FileLogSink::Write(const uint8_t* data, size_t size) {
+  if (file_ == nullptr) return;
+  if (std::fwrite(data, 1, size, file_) != size &&
+      !failed_.exchange(true, std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "mvstore: log fwrite failed; further commit records will "
+                 "NOT be durable\n");
+    if (stats_ != nullptr) stats_->Add(Stat::kLogWriteErrors);
+  }
+}
+
 void FileLogSink::Sync() {
   if (file_ == nullptr) return;
-  std::fflush(file_);
-  if (use_fsync_) {
-#if defined(_WIN32)
-    _commit(_fileno(file_));
-#else
-    ::fsync(fileno(file_));
-#endif
+  // fwrite into stdio's buffer can succeed while the real write fails here
+  // (ENOSPC), and with use_fsync the page cache can accept what the device
+  // then rejects (EIO at writeback); both are dropped durability and must
+  // surface.
+  bool synced = std::fflush(file_) == 0;
+  if (synced && use_fsync_) synced = PortableFsync(file_);
+  if (!synced && !failed_.exchange(true, std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "mvstore: log flush/fsync failed; further commit records "
+                 "will NOT be durable\n");
+    if (stats_ != nullptr) stats_->Add(Stat::kLogWriteErrors);
   }
 }
 
@@ -46,6 +83,9 @@ void Logger::Append(const std::vector<uint8_t>& record) {
   uint64_t my_lsn;
   {
     std::lock_guard<std::mutex> guard(mutex_);
+    if (replay_paused_.load(std::memory_order_relaxed)) {
+      return;  // replaying: the record is already on disk
+    }
     buffer_.insert(buffer_.end(), record.begin(), record.end());
     appended_lsn_ += record.size();
     my_lsn = appended_lsn_;
@@ -94,14 +134,26 @@ void Logger::FlusherLoop() {
 
 void Logger::FlushAll() {
   if (mode_ == LogMode::kDisabled) return;
-  while (true) {
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      if (buffer_.empty() && flushed_lsn_ >= appended_lsn_) return;
-    }
-    flusher_cv_.notify_one();
-    std::this_thread::yield();
-  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Wait for what is appended *now*, not for quiescence: under sustained
+  // commit traffic appended_lsn_ is a moving target and a barrier chasing
+  // it (the checkpointer does this mid-workload) would never return.
+  const uint64_t target = appended_lsn_;
+  flusher_cv_.notify_one();
+  commit_cv_.wait(lock, [&] { return flushed_lsn_ >= target; });
+}
+
+void Logger::PauseForReplay() {
+  if (mode_ == LogMode::kDisabled) return;
+  FlushAll();  // anything appended before the pause still reaches the sink
+  std::lock_guard<std::mutex> guard(mutex_);
+  replay_paused_.store(true, std::memory_order_release);
+}
+
+void Logger::ResumeAfterReplay() {
+  if (mode_ == LogMode::kDisabled) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  replay_paused_.store(false, std::memory_order_release);
 }
 
 }  // namespace mvstore

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/counters.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "log/log_record.h"
 
@@ -27,12 +29,21 @@ enum class LogMode : uint8_t {
   kSync,   // wait for the batch containing the record to be flushed
 };
 
+/// fsync (POSIX) / _commit (Windows) a stdio stream. Returns false on
+/// failure — which means acknowledged bytes may not be on the device, the
+/// exact condition durability callers must surface, so never ignore it.
+bool PortableFsync(std::FILE* file);
+
 /// Destination for flushed batches.
 class LogSink {
  public:
   virtual ~LogSink() = default;
   virtual void Write(const uint8_t* data, size_t size) = 0;
   virtual void Sync() {}
+  /// Health of the sink: OK, or Internal after an open/write failure (the
+  /// sink keeps accepting calls but drops bytes — callers that care about
+  /// durability must check).
+  virtual Status status() const { return Status::OK(); }
 };
 
 /// Counts bytes; used by benchmarks so logging exercises the full
@@ -49,7 +60,10 @@ class NullLogSink : public LogSink {
   std::atomic<uint64_t> bytes_{0};
 };
 
-/// Appends to a file.
+/// Appends to a single file. Opens in append mode, so reopening a database
+/// on an existing log path resumes after the existing records instead of
+/// destroying them (recover-then-continue). Callers that need the log
+/// truncated (a fresh benchmark run) must remove the file themselves.
 ///
 /// DURABILITY CAVEAT: by default Sync() calls fflush only, which moves
 /// bytes into the OS page cache — the log survives a process crash but NOT
@@ -59,23 +73,25 @@ class NullLogSink : public LogSink {
 /// device-bound commit latency under LogMode::kSync.
 class FileLogSink : public LogSink {
  public:
-  explicit FileLogSink(const std::string& path, bool use_fsync = false)
-      : use_fsync_(use_fsync) {
-    file_ = std::fopen(path.c_str(), "wb");
-  }
+  explicit FileLogSink(const std::string& path, bool use_fsync = false,
+                       StatsCollector* stats = nullptr);
   ~FileLogSink() override {
     if (file_ != nullptr) std::fclose(file_);
   }
   bool ok() const { return file_ != nullptr; }
-  void Write(const uint8_t* data, size_t size) override {
-    if (file_ != nullptr) std::fwrite(data, 1, size, file_);
-  }
+  void Write(const uint8_t* data, size_t size) override;
   /// Flush the batch to the OS; with use_fsync, force it to the device.
   void Sync() override;
+  Status status() const override {
+    return failed_.load(std::memory_order_acquire) ? Status::Internal()
+                                                   : Status::OK();
+  }
 
  private:
   std::FILE* file_ = nullptr;
   const bool use_fsync_;
+  StatsCollector* const stats_;
+  std::atomic<bool> failed_{false};
 };
 
 /// Captures all bytes in memory; for tests that parse the log back.
@@ -107,8 +123,30 @@ class Logger {
   /// record's batch has been flushed to the sink.
   void Append(const std::vector<uint8_t>& record);
 
-  /// Flush everything buffered (shutdown/tests).
+  /// Flush everything buffered (checkpoint barrier, shutdown, tests).
+  /// Blocks on the flusher's progress via condition variable — no spinning.
   void FlushAll();
+
+  /// Recovery replay re-executes committed transactions through the normal
+  /// commit path, which would re-append their records to a log that already
+  /// holds them. While paused, Append drops records (and kSync does not
+  /// wait). Only the recovery driver may use this, and only while no other
+  /// thread is committing.
+  void PauseForReplay();
+  void ResumeAfterReplay();
+  /// True between PauseForReplay and ResumeAfterReplay; engines check it to
+  /// skip serializing a record Append would drop anyway.
+  bool replay_paused() const {
+    return replay_paused_.load(std::memory_order_relaxed);
+  }
+
+  /// The sink, or nullptr when kDisabled. The logger stays the owner.
+  LogSink* sink() { return sink_.get(); }
+  /// Health of the sink (OK when disabled): Internal after an open or write
+  /// failure, meaning some bytes were dropped and durability is broken.
+  Status sink_status() const {
+    return sink_ != nullptr ? sink_->status() : Status::OK();
+  }
 
   uint64_t records_appended() const {
     return records_.load(std::memory_order_relaxed);
@@ -126,6 +164,10 @@ class Logger {
   std::vector<uint8_t> buffer_;
   uint64_t appended_lsn_ = 0;  // bytes appended
   uint64_t flushed_lsn_ = 0;   // bytes flushed
+
+  /// Replay pause (see PauseForReplay); written under mutex_. Atomic so the
+  /// engines' WriteLog fast-path check needs no lock.
+  std::atomic<bool> replay_paused_{false};
 
   std::atomic<uint64_t> records_{0};
   std::atomic<bool> running_{false};

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "log/log_record.h"
+#include "log/log_segment.h"
 
 namespace mvstore {
 
@@ -13,10 +14,17 @@ SVEngine::SVEngine(SVEngineOptions options)
       Table::MemoryOptions{options_.use_slab_allocator, &stats_, &epoch_});
   LogSink* sink = nullptr;
   if (options_.log_mode != LogMode::kDisabled) {
-    sink = options_.log_path.empty()
-               ? static_cast<LogSink*>(new NullLogSink())
-               : static_cast<LogSink*>(
-                     new FileLogSink(options_.log_path, options_.fsync_log));
+    if (options_.log_path.empty()) {
+      sink = new NullLogSink();
+    } else if (options_.log_segment_bytes > 0) {
+      sink = new SegmentedLogSink(
+          options_.log_path,
+          SegmentedLogSink::Options{options_.log_segment_bytes,
+                                    options_.fsync_log},
+          &stats_);
+    } else {
+      sink = new FileLogSink(options_.log_path, options_.fsync_log, &stats_);
+    }
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink);
 }
@@ -430,6 +438,7 @@ void SVEngine::ReleaseAllLocks(SVTransaction* txn) {
 
 void SVEngine::WriteLog(SVTransaction* txn) {
   if (logger_->mode() == LogMode::kDisabled || txn->undo.empty()) return;
+  if (logger_->replay_paused()) return;  // recovery: record already on disk
   thread_local std::vector<uint8_t> buffer;
   buffer.clear();
   LogRecordBuilder builder(buffer);

@@ -50,6 +50,9 @@ struct SVEngineOptions {
   std::string log_path;
   /// fsync each flushed batch (see DatabaseOptions::fsync_log).
   bool fsync_log = false;
+  /// > 0: rotating-segment log at this size; 0: one append-only file
+  /// (see MVEngineOptions::log_segment_bytes).
+  uint64_t log_segment_bytes = 0;
   /// Recycle row slots through per-table slabs and transaction objects
   /// through a pool (mem/); off = plain heap (debug fallback).
   bool use_slab_allocator = true;
@@ -122,6 +125,7 @@ class SVEngine {
 
   TableId CreateTable(TableDef def);
   Table& table(TableId id) { return catalog_.table(id); }
+  Catalog& catalog() { return catalog_; }
 
   SVTransaction* Begin(IsolationLevel isolation, bool read_only = false);
 
@@ -160,6 +164,21 @@ class SVEngine {
   EpochManager& epoch() { return epoch_; }
   Logger& logger() { return *logger_; }
   const SVEngineOptions& options() const { return options_; }
+
+  /// Timestamp the next commit record will exceed (recovery/checkpoint
+  /// coordination): every transaction that already wrote its log record has
+  /// an end timestamp <= this value.
+  Timestamp commit_clock() const {
+    return commit_clock_.load(std::memory_order_acquire);
+  }
+  /// Raise the commit clock to at least `floor`; recovery calls this after
+  /// replay so post-recovery records sort after the replayed ones.
+  void AdvanceCommitClock(Timestamp floor) {
+    Timestamp cur = commit_clock_.load(std::memory_order_acquire);
+    while (cur < floor && !commit_clock_.compare_exchange_weak(
+                              cur, floor, std::memory_order_acq_rel)) {
+    }
+  }
 
  private:
   /// Acquire (or convert to) the requested mode on the key's lock,

@@ -21,6 +21,18 @@ class TimestampGenerator {
   /// ("always read the latest committed version") without consuming a tick.
   Timestamp Current() const { return counter_.load(std::memory_order_acquire); }
 
+  /// Raise the clock to at least `floor` (no-op when already past it).
+  /// Recovery calls this after replay so that post-recovery commits draw end
+  /// timestamps strictly greater than every timestamp already in the log —
+  /// the replay order of a future recovery depends on it.
+  void AdvanceTo(Timestamp floor) {
+    Timestamp cur = counter_.load(std::memory_order_acquire);
+    while (cur < floor &&
+           !counter_.compare_exchange_weak(cur, floor,
+                                           std::memory_order_acq_rel)) {
+    }
+  }
+
  private:
   alignas(kCacheLineSize) std::atomic<Timestamp> counter_{0};
 };

@@ -121,6 +121,7 @@ TEST(LoggerTest, SyncWaitsForFlush) {
 /// only observable across an OS crash, which a unit test cannot stage.
 TEST(LoggerTest, FsyncModeWritesIdenticalBytes) {
   const std::string path = ::testing::TempDir() + "/fsync_sink.log";
+  std::remove(path.c_str());  // the sink appends; a stale file would skew n
   {
     auto* sink = new FileLogSink(path, /*use_fsync=*/true);
     ASSERT_TRUE(sink->ok());
@@ -136,6 +137,67 @@ TEST(LoggerTest, FsyncModeWritesIdenticalBytes) {
   std::remove(path.c_str());
   ASSERT_EQ(n, 5u);
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(buffer[i], 7);
+}
+
+/// The reopen bug this suite guards against: FileLogSink used to open with
+/// "wb", so reconstructing a database on an existing log path silently
+/// destroyed all prior committed records.
+TEST(LoggerTest, FileSinkAppendsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/append_sink.log";
+  std::remove(path.c_str());
+  for (int round = 0; round < 3; ++round) {
+    auto* sink = new FileLogSink(path);
+    ASSERT_TRUE(sink->ok());
+    Logger logger(LogMode::kSync, sink);
+    std::vector<uint8_t> rec{static_cast<uint8_t>(round), 1, 2};
+    logger.Append(rec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  uint8_t buffer[16] = {0};
+  size_t n = std::fread(buffer, 1, sizeof(buffer), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_EQ(n, 9u);  // three rounds of three bytes, none truncated away
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(buffer[round * 3], static_cast<uint8_t>(round));
+  }
+}
+
+TEST(LoggerTest, UnopenableSinkSurfacesStatus) {
+  FileLogSink sink("/nonexistent_dir_mvstore/x.log");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.status().ok());
+}
+
+#if defined(__linux__)
+/// /dev/full accepts buffered fwrite but fails the flush with ENOSPC; the
+/// sink must report broken durability rather than silently dropping bytes.
+TEST(LoggerTest, FullDeviceSurfacesStatus) {
+  auto* sink = new FileLogSink("/dev/full");
+  if (!sink->ok()) {  // environment without /dev/full semantics
+    delete sink;
+    GTEST_SKIP();
+  }
+  Logger logger(LogMode::kSync, sink);
+  std::vector<uint8_t> rec(128, 0x42);
+  logger.Append(rec);  // flushed (and failed) before returning
+  EXPECT_FALSE(logger.sink_status().ok());
+}
+#endif
+
+/// PauseForReplay drops appended records (they are already in the log being
+/// replayed) and ResumeAfterReplay restores normal appends.
+TEST(LoggerTest, ReplayPauseDropsAppends) {
+  auto* sink = new MemoryLogSink();
+  Logger logger(LogMode::kSync, sink);
+  std::vector<uint8_t> rec{1, 2, 3};
+  logger.Append(rec);
+  logger.PauseForReplay();
+  logger.Append(rec);  // dropped; must not block in kSync either
+  logger.ResumeAfterReplay();
+  logger.Append(rec);
+  EXPECT_EQ(sink->Contents().size(), 6u);
 }
 
 TEST(LoggerTest, DisabledDropsEverything) {

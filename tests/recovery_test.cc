@@ -156,7 +156,7 @@ TEST_P(RecoveryTest, ReplayIsOrderedByEndTimestamp) {
   EXPECT_EQ(row.value, 200u);
 }
 
-TEST_P(RecoveryTest, CorruptTailRejected) {
+TEST_P(RecoveryTest, CorruptTailReportsValidPrefix) {
   std::vector<uint8_t> log;
   {
     LogRecordBuilder b(log);
@@ -164,10 +164,13 @@ TEST_P(RecoveryTest, CorruptTailRejected) {
     b.AddDelete(0, 42);
     b.EndRecord();
   }
-  log.push_back(0xFF);  // trailing garbage
+  const size_t record_bytes = log.size();
+  log.push_back(0xFF);  // trailing garbage (torn batch)
   std::vector<ParsedLogRecord> records;
-  EXPECT_FALSE(ParseAllRecords(log, &records));
-  EXPECT_EQ(records.size(), 1u);  // the intact prefix survives
+  size_t valid = 0;
+  EXPECT_FALSE(ParseAllRecords(log, &records, &valid));
+  EXPECT_EQ(records.size(), 1u);       // the intact prefix survives
+  EXPECT_EQ(valid, record_bytes);      // and the truncation point is exact
 }
 
 TEST_P(RecoveryTest, MissingFileYieldsEmptyLog) {
