@@ -1,0 +1,172 @@
+// Server throughput: TATP transactions as whole-txn procedure calls over
+// the service layer, swept over client connections × pipeline depth ×
+// scheme × transport.
+//
+// Each client connection is one thread driving an MVClient: it queues
+// `--depth` kCall frames ("tatp.mixed" — the spec's transaction mix, typed
+// server-side from the call's seed), flushes the batch as one write, and
+// reads the pipelined responses. Loopback rows measure the protocol +
+// session + engine path with no kernel in the way; +tcp rows add real
+// sockets through the epoll server. This is the service-layer counterpart
+// of table4_tatp: same workload, but every transaction crosses the wire.
+//
+//   --seconds S        measurement window per point (default 0.5)
+//   --subscribers N    TATP scale (default 10000; --full 100000)
+//   --threads T        max client connections (default min(24, hw))
+//   --depth D          pipelined calls per batch (default 8)
+//   --scheme X         restrict to one scheme
+//   --tcp 0|1          also run real-socket rows (default 1; auto-skipped
+//                      where MVServer is unsupported)
+//   --group_commit_us  log group-commit window (with --log_path)
+//   --log_path PATH    file-backed redo log (default: in-memory sink)
+//   --fsync 0|1        fsync flushed batches (default 0)
+//   --json PATH        machine-readable rows; depth/transport fold into
+//                      the scheme label ("MV/O:p8", "MV/O:p8+tcp")
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "client/client.h"
+#include "client/tcp_transport.h"
+#include "common/random.h"
+#include "server/loopback.h"
+#include "server/mv_server.h"
+#include "server/server_core.h"
+#include "workload/tatp.h"
+
+namespace mvstore {
+namespace bench {
+namespace {
+
+struct BenchContext {
+  Database* db = nullptr;
+  Transport* transport = nullptr;
+  uint32_t proc_id = 0;
+  uint32_t depth = 1;
+};
+
+RunResult RunPoint(const BenchContext& ctx, uint32_t connections,
+                   double seconds) {
+  return RunFixedDuration(
+      connections, seconds,
+      [&](uint32_t tid, std::atomic<bool>& stop, WorkerCounters& counters) {
+        Status status;
+        auto conn = ctx.transport->Connect(&status);
+        if (conn == nullptr) return;  // admission refused: contribute zeros
+        MVClient client(std::move(conn));
+        Random rng(0x5EED5EED + tid);
+        std::vector<WireResult> results;
+        std::vector<uint8_t> arg(9);
+        arg[8] = static_cast<uint8_t>(IsolationLevel::kReadCommitted);
+        while (!stop.load(std::memory_order_relaxed) && client.connected()) {
+          for (uint32_t i = 0; i < ctx.depth; ++i) {
+            uint64_t seed = rng.Next();
+            std::memcpy(arg.data(), &seed, 8);
+            client.QueueCall(ctx.proc_id, arg.data(), arg.size());
+          }
+          results.clear();
+          if (!client.FlushBatch(&results).ok()) break;
+          for (const WireResult& r : results) {
+            if (r.status.ok()) {
+              ++counters.committed;
+            } else {
+              ++counters.aborted;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mvstore
+
+int main(int argc, char** argv) {
+  using namespace mvstore;
+  using namespace mvstore::bench;
+
+  Flags flags(argc, argv);
+  const double seconds = flags.GetDouble("seconds", 0.5);
+  const bool full = flags.Has("full");
+  const uint64_t subscribers =
+      flags.GetUint("subscribers", full ? 100000 : 10000);
+  const uint32_t max_threads =
+      static_cast<uint32_t>(flags.GetUint("threads", DefaultMaxThreads()));
+  const uint32_t depth =
+      static_cast<uint32_t>(flags.GetUint("depth", 8));
+  const bool run_tcp = flags.GetUint("tcp", 1) != 0;
+
+  JsonReporter json(flags, BenchSlug(argv[0]));
+
+  std::printf("server_bench: TATP over the service layer (%llu subscribers, "
+              "depth %u)\n",
+              static_cast<unsigned long long>(subscribers), depth);
+  std::printf("%-14s %-10s %12s %12s %10s\n", "scheme", "transport", "conns",
+              "tps", "aborts");
+
+  for (Scheme scheme : SchemesToRun(flags)) {
+    DatabaseOptions opts = MakeOptions(scheme, flags);
+    opts.log_path = flags.GetString("log_path", "");
+    if (opts.log_path.empty()) opts.log_mode = LogMode::kAsync;
+    opts.fsync_log = flags.GetUint("fsync", 0) != 0;
+    opts.group_commit_us =
+        static_cast<uint32_t>(flags.GetUint("group_commit_us", 0));
+    Database db(opts);
+    tatp::TatpDatabase tatp_db = tatp::LoadTatp(db, subscribers);
+    tatp::RegisterTatpProcedures(db, tatp_db);
+
+    // Shared admission config: sessions for every swept connection count.
+    ServerCoreOptions core_opts;
+    core_opts.max_sessions = max_threads + 8;
+    core_opts.max_pipeline = depth < 64 ? 64 : depth;
+
+    BenchContext ctx;
+    ctx.db = &db;
+    ctx.depth = depth == 0 ? 1 : depth;
+
+    // --- loopback rows ---
+    {
+      ServerCore core(db, core_opts);
+      LoopbackTransport loopback(core);
+      int64_t proc = db.FindProcedure("tatp.mixed");
+      ctx.proc_id = static_cast<uint32_t>(proc);
+      ctx.transport = &loopback;
+      for (uint32_t conns : ThreadSweep(max_threads)) {
+        RunResult r = RunPoint(ctx, conns, seconds);
+        std::string label = SchemeLabel(scheme, opts) + ":p" +
+                            std::to_string(ctx.depth);
+        std::printf("%-14s %-10s %12u %12.0f %10llu\n", label.c_str(),
+                    "loopback", conns, r.tps(),
+                    static_cast<unsigned long long>(r.aborted));
+        json.AddRow(label, conns, r.tps(), r.aborted);
+      }
+    }
+
+    // --- real-socket rows ---
+    if (run_tcp) {
+      ServerOptions srv_opts;
+      srv_opts.port = 0;  // ephemeral
+      srv_opts.workers = 2;
+      srv_opts.core = core_opts;
+      MVServer server(db, srv_opts);
+      if (!server.Start().ok()) {
+        std::printf("(tcp rows skipped: MVServer unavailable here)\n");
+        continue;
+      }
+      TcpTransport tcp("127.0.0.1", server.port());
+      ctx.transport = &tcp;
+      for (uint32_t conns : ThreadSweep(max_threads)) {
+        RunResult r = RunPoint(ctx, conns, seconds);
+        std::string label = SchemeLabel(scheme, opts) + ":p" +
+                            std::to_string(ctx.depth) + "+tcp";
+        std::printf("%-14s %-10s %12u %12.0f %10llu\n", label.c_str(), "tcp",
+                    conns, r.tps(),
+                    static_cast<unsigned long long>(r.aborted));
+        json.AddRow(label, conns, r.tps(), r.aborted);
+      }
+      server.Stop();
+    }
+  }
+  return 0;
+}

@@ -45,11 +45,17 @@ for ((rep = 0; rep < REPEATS; ++rep)) do
   # ignores --seconds, sized by RECOVERY_TXNS instead.
   run "recovery.${rep}"  "${BUILD_DIR}/recovery_bench" \
       --txns "${RECOVERY_TXNS:-200000}"
+  # Service layer: TATP as pipelined procedure calls, loopback + tcp rows.
+  run "server.${rep}"    "${BUILD_DIR}/server_bench" \
+      --depth "${SERVER_DEPTH:-8}"
 done
 
 python3 - "${OUT}" "${tmp}"/*.json <<'EOF'
-import json, statistics, sys
+import json, os, statistics, sys
 out, *files = sys.argv[1:]
+# Files are named <bench>.<rep>.json; the distinct rep suffixes are the
+# repeat count (no hand-maintained bench-count constant).
+reps = {os.path.basename(f).rsplit(".", 2)[1] for f in files}
 samples = {}  # (bench, scheme, threads) -> [row, ...], insertion-ordered
 for f in files:
     with open(f) as fh:
@@ -63,5 +69,5 @@ for runs in samples.values():
 with open(out, "w") as fh:
     json.dump(rows, fh, indent=1)
     fh.write("\n")
-print(f"wrote {out}: {len(rows)} points (median of {len(files) // 6} runs)")
+print(f"wrote {out}: {len(rows)} points (median of {len(reps)} runs)")
 EOF

@@ -56,7 +56,8 @@ MVEngine::MVEngine(MVEngineOptions options)
       sink = new FileLogSink(options_.log_path, options_.fsync_log, &stats_);
     }
   }
-  logger_ = std::make_unique<Logger>(options_.log_mode, sink);
+  logger_ = std::make_unique<Logger>(options_.log_mode, sink,
+                                     options_.group_commit_us, &stats_);
   gc_ = std::make_unique<GarbageCollector>(txn_table_, epoch_, stats_,
                                            options_.gc_interval_us);
   gc_->SetNowSource(

@@ -48,6 +48,8 @@ struct MVEngineOptions {
   /// segments rotate at this size, enabling checkpoint truncation.
   /// 0: log_path is one append-only file (no rotation, no truncation).
   uint64_t log_segment_bytes = 0;
+  /// Group-commit window (see Logger); 0 = flush as soon as possible.
+  uint32_t group_commit_us = 0;
 
   /// Background garbage collection sweep interval; 0 disables the thread
   /// (cooperative GC still runs).

@@ -1,0 +1,290 @@
+#include "client/client.h"
+
+#include <cstring>
+
+namespace mvstore {
+
+namespace {
+
+using wire::BodyReader;
+using wire::Opcode;
+
+using wire::PutBytes;
+
+std::vector<uint8_t> KeyBody(TableId table, IndexId index, uint64_t key) {
+  std::vector<uint8_t> body;
+  body.reserve(16);
+  wire::Put(&body, table);
+  wire::Put(&body, index);
+  wire::Put(&body, key);
+  return body;
+}
+
+}  // namespace
+
+MVClient::MVClient(std::unique_ptr<Connection> conn)
+    : conn_(std::move(conn)) {}
+
+MVClient::~MVClient() {
+  if (conn_ != nullptr) conn_->Close();
+}
+
+void MVClient::QueueFrame(Opcode opcode, const std::vector<uint8_t>& body) {
+  wire::AppendFrame(&batch_, opcode, 0, body.data(), body.size());
+  batch_ops_.push_back(opcode);
+}
+
+Status MVClient::ReadResponse(Opcode expect, WireResult* result) {
+  wire::Frame frame;
+  while (true) {
+    switch (parser_.Next(&frame)) {
+      case wire::FrameParser::Result::kFrame: {
+        if ((frame.flags & wire::kFlagResponse) == 0) {
+          broken_ = true;
+          return Status::Internal();
+        }
+        BodyReader body(frame.body.data(), frame.body.size());
+        uint8_t code = 0;
+        uint8_t reason = 0;
+        if (!body.Read(&code) || !body.Read(&reason)) {
+          broken_ = true;
+          return Status::Internal();
+        }
+        Status s = wire::WireToStatus(code, reason);
+        if (frame.opcode == Opcode::kBye || (frame.flags & wire::kFlagFatal)) {
+          // The server is closing this connection; its goodbye status (for
+          // a refused session: kUnavailable) is the most truthful answer
+          // to whatever we were waiting for.
+          broken_ = true;
+          return s;
+        }
+        if (frame.opcode != expect) {
+          broken_ = true;  // response/request misalignment: desynced
+          return Status::Internal();
+        }
+        result->status = s;
+        result->payload.assign(body.rest(), body.rest() + body.remaining());
+        return Status::OK();
+      }
+      case wire::FrameParser::Result::kBad:
+        broken_ = true;
+        return Status::Internal();
+      case wire::FrameParser::Result::kNeedMore: {
+        uint8_t chunk[4096];
+        size_t n = conn_->Recv(chunk, sizeof(chunk));
+        if (n == 0) {
+          broken_ = true;
+          return Status::Internal();
+        }
+        parser_.Feed(chunk, n);
+        break;
+      }
+    }
+  }
+}
+
+Status MVClient::Roundtrip(Opcode opcode, const std::vector<uint8_t>& body,
+                           std::vector<uint8_t>* payload) {
+  if (!connected()) return Status::Internal();
+  if (!batch_ops_.empty()) return Status::InvalidArgument();  // flush first
+  std::vector<uint8_t> frame;
+  wire::AppendFrame(&frame, opcode, 0, body.data(), body.size());
+  if (!conn_->Send(frame.data(), frame.size())) {
+    broken_ = true;
+    return Status::Internal();
+  }
+  WireResult result;
+  Status transport = ReadResponse(opcode, &result);
+  if (!transport.ok()) return transport;
+  if (payload != nullptr) *payload = std::move(result.payload);
+  return result.status;
+}
+
+Status MVClient::Ping() { return Roundtrip(Opcode::kPing, {}, nullptr); }
+
+Status MVClient::Begin(IsolationLevel isolation, bool read_only) {
+  std::vector<uint8_t> body;
+  wire::Put(&body, static_cast<uint8_t>(isolation));
+  wire::Put(&body, static_cast<uint8_t>(read_only ? 1 : 0));
+  return Roundtrip(Opcode::kBegin, body, nullptr);
+}
+
+Status MVClient::Commit() { return Roundtrip(Opcode::kCommit, {}, nullptr); }
+
+Status MVClient::Abort() { return Roundtrip(Opcode::kAbort, {}, nullptr); }
+
+Status MVClient::Get(TableId table, IndexId index, uint64_t key, void* row,
+                     size_t row_size) {
+  std::vector<uint8_t> payload;
+  Status s = Roundtrip(Opcode::kGet, KeyBody(table, index, key), &payload);
+  if (!s.ok()) return s;
+  if (payload.size() != row_size) {
+    broken_ = true;
+    return Status::Internal();
+  }
+  std::memcpy(row, payload.data(), row_size);
+  return s;
+}
+
+Status MVClient::Get(TableId table, IndexId index, uint64_t key,
+                     std::vector<uint8_t>* row) {
+  return Roundtrip(Opcode::kGet, KeyBody(table, index, key), row);
+}
+
+Status MVClient::Insert(TableId table, const void* payload, size_t size) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + size);
+  wire::Put(&body, table);
+  PutBytes(&body, payload, size);
+  return Roundtrip(Opcode::kInsert, body, nullptr);
+}
+
+Status MVClient::Put(TableId table, IndexId index, uint64_t key,
+                     const void* payload, size_t size) {
+  std::vector<uint8_t> body = KeyBody(table, index, key);
+  PutBytes(&body, payload, size);
+  return Roundtrip(Opcode::kUpdate, body, nullptr);
+}
+
+Status MVClient::Delete(TableId table, IndexId index, uint64_t key) {
+  return Roundtrip(Opcode::kDelete, KeyBody(table, index, key), nullptr);
+}
+
+Status MVClient::ScanRange(TableId table, IndexId index, uint64_t lo,
+                           uint64_t hi, uint32_t max_rows,
+                           std::vector<std::vector<uint8_t>>* rows) {
+  std::vector<uint8_t> body;
+  body.reserve(28);
+  wire::Put(&body, table);
+  wire::Put(&body, index);
+  wire::Put(&body, lo);
+  wire::Put(&body, hi);
+  wire::Put(&body, max_rows);
+  std::vector<uint8_t> payload;
+  Status s = Roundtrip(Opcode::kScanRange, body, &payload);
+  if (!s.ok()) return s;
+  BodyReader reader(payload.data(), payload.size());
+  uint32_t count = 0;
+  if (!reader.Read(&count)) {
+    broken_ = true;
+    return Status::Internal();
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!reader.Read(&len) || len > reader.remaining()) {
+      broken_ = true;
+      return Status::Internal();
+    }
+    rows->emplace_back(reader.rest(), reader.rest() + len);
+    reader.Skip(len);
+  }
+  return s;
+}
+
+Status MVClient::Resolve(const std::string& name, uint32_t* proc_id) {
+  std::vector<uint8_t> body;
+  PutBytes(&body, name.data(), name.size());
+  std::vector<uint8_t> payload;
+  Status s = Roundtrip(Opcode::kResolve, body, &payload);
+  if (!s.ok()) return s;
+  if (payload.size() != 4) {
+    broken_ = true;
+    return Status::Internal();
+  }
+  std::memcpy(proc_id, payload.data(), 4);
+  return s;
+}
+
+Status MVClient::Call(uint32_t proc_id, const void* arg, size_t arg_len,
+                      std::vector<uint8_t>* result) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + arg_len);
+  wire::Put(&body, proc_id);
+  if (arg_len > 0) PutBytes(&body, arg, arg_len);
+  return Roundtrip(Opcode::kCall, body, result);
+}
+
+Status MVClient::Stats(std::string* text) {
+  std::vector<uint8_t> payload;
+  Status s = Roundtrip(Opcode::kStats, {}, &payload);
+  if (!s.ok()) return s;
+  text->assign(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return s;
+}
+
+void MVClient::QueuePing() { QueueFrame(Opcode::kPing, {}); }
+
+void MVClient::QueueBegin(IsolationLevel isolation, bool read_only) {
+  std::vector<uint8_t> body;
+  wire::Put(&body, static_cast<uint8_t>(isolation));
+  wire::Put(&body, static_cast<uint8_t>(read_only ? 1 : 0));
+  QueueFrame(Opcode::kBegin, body);
+}
+
+void MVClient::QueueCommit() { QueueFrame(Opcode::kCommit, {}); }
+
+void MVClient::QueueAbort() { QueueFrame(Opcode::kAbort, {}); }
+
+void MVClient::QueueGet(TableId table, IndexId index, uint64_t key) {
+  QueueFrame(Opcode::kGet, KeyBody(table, index, key));
+}
+
+void MVClient::QueueInsert(TableId table, const void* payload, size_t size) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + size);
+  wire::Put(&body, table);
+  PutBytes(&body, payload, size);
+  QueueFrame(Opcode::kInsert, body);
+}
+
+void MVClient::QueuePut(TableId table, IndexId index, uint64_t key,
+                        const void* payload, size_t size) {
+  std::vector<uint8_t> body = KeyBody(table, index, key);
+  PutBytes(&body, payload, size);
+  QueueFrame(Opcode::kUpdate, body);
+}
+
+void MVClient::QueueDelete(TableId table, IndexId index, uint64_t key) {
+  QueueFrame(Opcode::kDelete, KeyBody(table, index, key));
+}
+
+void MVClient::QueueCall(uint32_t proc_id, const void* arg, size_t arg_len) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + arg_len);
+  wire::Put(&body, proc_id);
+  if (arg_len > 0) PutBytes(&body, arg, arg_len);
+  QueueFrame(Opcode::kCall, body);
+}
+
+Status MVClient::FlushBatch(std::vector<WireResult>* results) {
+  if (!connected()) {
+    batch_.clear();
+    batch_ops_.clear();
+    return Status::Internal();
+  }
+  if (batch_ops_.empty()) return Status::OK();
+  std::vector<Opcode> expected;
+  expected.swap(batch_ops_);
+  std::vector<uint8_t> frames;
+  frames.swap(batch_);
+  if (!conn_->Send(frames.data(), frames.size())) {
+    broken_ = true;
+    return Status::Internal();
+  }
+  for (Opcode opcode : expected) {
+    WireResult result;
+    Status transport = ReadResponse(opcode, &result);
+    if (!transport.ok()) {
+      // Transport/protocol death mid-batch: the remaining responses will
+      // never arrive; surface what we know.
+      if (results != nullptr) {
+        results->push_back({transport, {}});
+      }
+      return Status::Internal();
+    }
+    if (results != nullptr) results->push_back(std::move(result));
+  }
+  return Status::OK();
+}
+
+}  // namespace mvstore

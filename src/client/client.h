@@ -1,0 +1,125 @@
+// MVClient: the client library for the wire protocol (server/wire.h).
+//
+// Wraps one Connection (TCP or loopback — the client cannot tell) behind a
+// typed API. Two usage styles:
+//
+//  * Synchronous: each call sends one request frame and blocks for its
+//    response. An interactive transaction spans round trips: Begin() opens
+//    a server-side transaction owned by this connection's session,
+//    Get/Insert/Put/Delete/ScanRange operate inside it, Commit()/Abort()
+//    finish it.
+//
+//  * Pipelined batch: Queue*() buffers any number of request frames
+//    locally, FlushBatch() sends them in one write and then reads exactly
+//    one response per request, in order. A whole transaction
+//    (Begin..Commit) — or a batch of whole-txn procedure calls — costs one
+//    network round trip.
+//
+// Statuses come from the server verbatim (an Aborted status means the
+// server already rolled the transaction back; kUnavailable means the
+// request was refused unstarted — backpressure or shutdown — and can be
+// retried). Transport failures and protocol violations surface as
+// kInternal and poison the client: every later call fails fast, because a
+// byte stream that lost framing cannot be resynchronized.
+//
+// Not thread-safe: one MVClient per thread, like one Connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/transport.h"
+#include "common/types.h"
+#include "server/wire.h"
+
+namespace mvstore {
+
+/// One response: the operation's status plus its opcode-specific payload
+/// bytes (row for kGet, count|rows for kScanRange, procedure result for
+/// kCall, text for kStats; empty otherwise).
+struct WireResult {
+  Status status;
+  std::vector<uint8_t> payload;
+};
+
+class MVClient {
+ public:
+  /// Takes ownership of an established connection (Transport::Connect).
+  explicit MVClient(std::unique_ptr<Connection> conn);
+  ~MVClient();
+
+  MVClient(const MVClient&) = delete;
+  MVClient& operator=(const MVClient&) = delete;
+
+  /// False once the transport broke or the protocol desynced.
+  bool connected() const { return !broken_ && conn_ != nullptr; }
+
+  /// --- synchronous API --------------------------------------------------------
+
+  Status Ping();
+  Status Begin(IsolationLevel isolation, bool read_only = false);
+  Status Commit();
+  Status Abort();
+  /// Copies the row into `row` (`row_size` must match the table's payload
+  /// size — Internal on a size mismatch with the server's reply).
+  Status Get(TableId table, IndexId index, uint64_t key, void* row,
+             size_t row_size);
+  /// Size-agnostic variant: *row takes whatever payload the server sent
+  /// (callers that don't know the table's payload size, e.g. the CLI).
+  Status Get(TableId table, IndexId index, uint64_t key,
+             std::vector<uint8_t>* row);
+  Status Insert(TableId table, const void* payload, size_t size);
+  /// Full-row overwrite of the row `key` reaches via `index`.
+  Status Put(TableId table, IndexId index, uint64_t key, const void* payload,
+             size_t size);
+  Status Delete(TableId table, IndexId index, uint64_t key);
+  /// Rows (ascending key order over [lo, hi]) appended to *rows, at most
+  /// max_rows (server caps it too).
+  Status ScanRange(TableId table, IndexId index, uint64_t lo, uint64_t hi,
+                   uint32_t max_rows, std::vector<std::vector<uint8_t>>* rows);
+  /// Procedure id registered under `name` (Database::RegisterProcedure).
+  Status Resolve(const std::string& name, uint32_t* proc_id);
+  /// Invoke a whole-txn procedure; one round trip commits a transaction.
+  Status Call(uint32_t proc_id, const void* arg, size_t arg_len,
+              std::vector<uint8_t>* result = nullptr);
+  /// Server + engine counters as "name=value" lines.
+  Status Stats(std::string* text);
+
+  /// --- pipelined batch API ----------------------------------------------------
+
+  void QueuePing();
+  void QueueBegin(IsolationLevel isolation, bool read_only = false);
+  void QueueCommit();
+  void QueueAbort();
+  void QueueGet(TableId table, IndexId index, uint64_t key);
+  void QueueInsert(TableId table, const void* payload, size_t size);
+  void QueuePut(TableId table, IndexId index, uint64_t key,
+                const void* payload, size_t size);
+  void QueueDelete(TableId table, IndexId index, uint64_t key);
+  void QueueCall(uint32_t proc_id, const void* arg, size_t arg_len);
+
+  /// Requests queued and not yet flushed.
+  size_t queued() const { return batch_ops_.size(); }
+
+  /// Send every queued frame in one write, then read one response per
+  /// request into *results (in request order; may be nullptr to discard
+  /// payloads but statuses are lost too — pass a vector). Internal if the
+  /// transport broke; the per-request statuses live in the results.
+  Status FlushBatch(std::vector<WireResult>* results);
+
+ private:
+  void QueueFrame(wire::Opcode opcode, const std::vector<uint8_t>& body);
+  Status Roundtrip(wire::Opcode opcode, const std::vector<uint8_t>& body,
+                   std::vector<uint8_t>* payload);
+  Status ReadResponse(wire::Opcode expect, WireResult* result);
+
+  std::unique_ptr<Connection> conn_;
+  wire::FrameParser parser_;
+  std::vector<uint8_t> batch_;
+  std::vector<wire::Opcode> batch_ops_;
+  bool broken_ = false;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,89 @@
+#include "client/tcp_transport.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace mvstore {
+
+#if !defined(_WIN32)
+
+namespace {
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override { Close(); }
+
+  bool Send(const uint8_t* data, size_t n) override {
+    size_t sent = 0;
+    while (sent < n) {
+      ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  size_t Recv(uint8_t* buf, size_t n) override {
+    while (true) {
+      ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r > 0) return static_cast<size_t>(r);
+      if (r < 0 && errno == EINTR) continue;
+      return 0;
+    }
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<Connection> TcpTransport::Connect(Status* status) {
+  auto fail = [&](Status s) -> std::unique_ptr<Connection> {
+    if (status != nullptr) *status = s;
+    return nullptr;
+  };
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return fail(Status::InvalidArgument());
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(Status::Internal());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail(Status::Internal());
+  }
+  int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  if (status != nullptr) *status = Status::OK();
+  return std::make_unique<TcpConnection>(fd);
+}
+
+#else  // _WIN32
+
+std::unique_ptr<Connection> TcpTransport::Connect(Status* status) {
+  if (status != nullptr) *status = Status::Internal();
+  return nullptr;
+}
+
+#endif
+
+}  // namespace mvstore

@@ -1,0 +1,27 @@
+// TcpTransport: dial a real MVServer socket (client/transport.h impl).
+//
+// POSIX sockets, numeric IPv4 hosts, TCP_NODELAY on (the protocol is
+// request/response; Nagle would serialize pipelined batches behind delayed
+// ACKs). Windows is not supported — Connect returns Internal there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "client/transport.h"
+
+namespace mvstore {
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  std::unique_ptr<Connection> Connect(Status* status = nullptr) override;
+
+ private:
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace mvstore

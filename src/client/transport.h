@@ -1,0 +1,48 @@
+// Transport abstraction for the service layer.
+//
+// A Transport hands out Connections — ordered, reliable byte streams that
+// carry wire-protocol frames (server/wire.h). Two implementations exist:
+// TcpTransport (client/tcp_transport.h) dials a real MVServer socket, and
+// LoopbackTransport (server/loopback.h) splices the client directly onto a
+// server Session in-process, so every protocol and session test runs
+// without sockets, ports, or an event loop — and both paths exercise the
+// byte-identical framing code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace mvstore {
+
+/// One established byte-stream connection. Not thread-safe: a connection
+/// belongs to one client thread.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Send exactly `n` bytes; false when the connection is broken (the
+  /// stream is dead and must be closed — partial frames cannot be resent).
+  virtual bool Send(const uint8_t* data, size_t n) = 0;
+
+  /// Receive up to `n` bytes, blocking until at least one byte is
+  /// available. 0 means EOF/broken connection.
+  virtual size_t Recv(uint8_t* buf, size_t n) = 0;
+
+  virtual void Close() {}
+};
+
+/// Connection factory.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Establish a connection. nullptr on failure with *status set (if
+  /// non-null): kUnavailable when the server refused the session
+  /// (admission control or drain), kInternal for transport errors.
+  virtual std::unique_ptr<Connection> Connect(Status* status = nullptr) = 0;
+};
+
+}  // namespace mvstore

@@ -42,6 +42,8 @@ enum class Stat : uint32_t {
   kLogSegmentsRotated,
   kLogSegmentsDeleted,
   kLogWriteErrors,
+  kLogGroupCommits,
+  kLogGroupSizeSum,
   kCheckpointsTaken,
   kRecoveryTornTails,
   kRecoveryTornBytesDropped,
@@ -62,6 +64,7 @@ inline const char* StatName(Stat stat) {
       "slab_chunks_allocated", "slab_magazine_hits", "slab_magazine_misses",
       "slab_slots_recycled", "txn_pool_hits",     "txn_pool_misses",
       "log_segments_rotated", "log_segments_deleted", "log_write_errors",
+      "log_group_commits",  "log_group_size_sum",
       "checkpoints_taken",  "recovery_torn_tails",
       "recovery_torn_bytes_dropped", "recovery_records_replayed",
       "recovery_records_skipped", "recovery_idempotent_applies",

@@ -42,6 +42,8 @@ std::string Status::ToString() const {
       return "AlreadyExists";
     case Code::kInternal:
       return "Internal";
+    case Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

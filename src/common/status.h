@@ -54,6 +54,7 @@ class Status {
     kInvalidArgument,
     kAlreadyExists,  // unique-key violation on insert
     kInternal,
+    kUnavailable,    // backpressure/shutdown: retry later, work not started
   };
 
   Status() = default;
@@ -70,12 +71,20 @@ class Status {
     return Status(Code::kAlreadyExists, AbortReason::kNone);
   }
   static Status Internal() { return Status(Code::kInternal, AbortReason::kNone); }
+  /// The service (not the data) refused the request: session limit reached,
+  /// pipeline queue full, or the server is draining for shutdown. The
+  /// request was never started, so retrying against a healthy server is
+  /// always safe.
+  static Status Unavailable() {
+    return Status(Code::kUnavailable, AbortReason::kNone);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   AbortReason abort_reason() const { return reason_; }

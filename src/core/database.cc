@@ -13,6 +13,7 @@ Database::Database(DatabaseOptions options)
     sv.log_path = options_.log_path;
     sv.fsync_log = options_.fsync_log;
     sv.log_segment_bytes = options_.log_segment_bytes;
+    sv.group_commit_us = options_.group_commit_us;
     sv.use_slab_allocator = options_.use_slab_allocator;
     sv_ = std::make_unique<SVEngine>(sv);
   } else {
@@ -22,6 +23,7 @@ Database::Database(DatabaseOptions options)
     mv.log_path = options_.log_path;
     mv.fsync_log = options_.fsync_log;
     mv.log_segment_bytes = options_.log_segment_bytes;
+    mv.group_commit_us = options_.group_commit_us;
     mv.gc_interval_us = options_.gc_interval_us;
     mv.deadlock_interval_us = options_.deadlock_interval_us;
     mv.use_slab_allocator = options_.use_slab_allocator;
@@ -53,6 +55,11 @@ uint32_t Database::PayloadSize(TableId table_id) {
 uint32_t Database::NumTables() {
   return mv_ != nullptr ? mv_->catalog().num_tables()
                         : sv_->catalog().num_tables();
+}
+
+uint32_t Database::NumIndexes(TableId table_id) {
+  return mv_ != nullptr ? mv_->table(table_id).num_indexes()
+                        : sv_->table(table_id).num_indexes();
 }
 
 const std::string& Database::TableName(TableId table_id) {
@@ -196,6 +203,55 @@ Status Database::RunTransaction(IsolationLevel isolation,
 
 StatsCollector& Database::stats() {
   return mv_ != nullptr ? mv_->stats() : sv_->stats();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Database::CounterSnapshot() {
+  StatsCollector& s = stats();
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(static_cast<uint32_t>(Stat::kNumStats));
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Stat::kNumStats); ++i) {
+    out.emplace_back(StatName(static_cast<Stat>(i)),
+                     s.Get(static_cast<Stat>(i)));
+  }
+  return out;
+}
+
+uint32_t Database::RegisterProcedure(const std::string& name,
+                                     ProcedureFn fn) {
+  std::unique_lock<std::shared_mutex> lock(procedures_mutex_);
+  for (uint32_t i = 0; i < procedures_.size(); ++i) {
+    if (procedures_[i].first == name) {
+      procedures_[i].second = std::move(fn);
+      return i;
+    }
+  }
+  procedures_.emplace_back(name, std::move(fn));
+  return static_cast<uint32_t>(procedures_.size() - 1);
+}
+
+int64_t Database::FindProcedure(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  for (uint32_t i = 0; i < procedures_.size(); ++i) {
+    if (procedures_[i].first == name) return i;
+  }
+  return -1;
+}
+
+uint32_t Database::NumProcedures() {
+  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  return static_cast<uint32_t>(procedures_.size());
+}
+
+std::string Database::ProcedureName(uint32_t id) {
+  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  return id < procedures_.size() ? procedures_[id].first : std::string();
+}
+
+Status Database::CallProcedure(uint32_t id, const uint8_t* arg,
+                               size_t arg_len, std::vector<uint8_t>* result) {
+  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  if (id >= procedures_.size()) return Status::InvalidArgument();
+  return procedures_[id].second(*this, arg, arg_len, result);
 }
 
 }  // namespace mvstore

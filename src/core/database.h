@@ -20,7 +20,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cc/mv_engine.h"
 #include "common/status.h"
@@ -61,6 +64,14 @@ struct DatabaseOptions {
   /// log streams" observation: records partition by primary key and replay
   /// in end-timestamp order per key). 1 = serial replay.
   uint32_t recovery_threads = 1;
+  /// Group-commit window in microseconds: once the log flusher sees a
+  /// pending commit record it waits this long so concurrent committers
+  /// coalesce into one flush (one fsync with fsync_log). Amortizes
+  /// device-bound commit latency across sessions at the cost of up to this
+  /// much added latency per commit. 0 (default) flushes as soon as the
+  /// flusher wakes. Counters: log_group_commits (batches flushed),
+  /// log_group_size_sum (records across those batches).
+  uint32_t group_commit_us = 0;
 
   /// MV engines: see MVEngineOptions.
   bool honor_locks = true;
@@ -131,6 +142,11 @@ class Database {
 
   /// Number of tables created so far.
   uint32_t NumTables();
+
+  /// Number of indexes on `table_id` (valid index ids are 0..n-1). The
+  /// service layer validates wire-supplied ids against this before
+  /// touching the engine.
+  uint32_t NumIndexes(TableId table_id);
 
   /// Name a table was created with.
   const std::string& TableName(TableId table_id);
@@ -211,9 +227,55 @@ class Database {
   /// already deleted — an unrecoverable state.
   std::mutex& checkpoint_mutex() { return checkpoint_mutex_; }
 
+  /// --- registered procedures --------------------------------------------------
+  ///
+  /// A procedure is a whole transaction behind one call: the service layer
+  /// (src/server/) dispatches a single request frame to it, so one network
+  /// round trip begins, runs, and commits a full transaction (the TATP ops
+  /// in workload/tatp.h register themselves this way). The procedure owns
+  /// its transaction lifecycle — typically via RunTransaction — and returns
+  /// the commit status; `result` carries optional reply bytes.
+
+  using ProcedureFn = std::function<Status(
+      Database& db, const uint8_t* arg, size_t arg_len,
+      std::vector<uint8_t>* result)>;
+
+  /// Register `fn` under `name`; returns its id (stable for the lifetime of
+  /// the database). Re-registering a name replaces the function but keeps
+  /// the id. Registration is cheap but takes the registry writer lock; do it
+  /// at setup, not per request.
+  uint32_t RegisterProcedure(const std::string& name, ProcedureFn fn);
+
+  /// Id registered under `name`, or -1.
+  int64_t FindProcedure(const std::string& name);
+
+  /// Number of registered procedures (ids are 0..count-1).
+  uint32_t NumProcedures();
+
+  /// Name a procedure id was registered under; empty for a bad id.
+  std::string ProcedureName(uint32_t id);
+
+  /// Invoke procedure `id`. InvalidArgument for an unknown id; otherwise
+  /// whatever the procedure returns (kAborted statuses mean the transaction
+  /// inside rolled back and the caller may retry the call).
+  ///
+  /// Contract for procedures served over the wire: `result` must fit in
+  /// one response frame (wire::kMaxFrameBody, 4 MB). A larger result is a
+  /// procedure-author bug — the server cannot frame it and reports
+  /// Internal to the client even though the procedure's transaction may
+  /// already be committed, which makes a blind retry unsafe. Paginate big
+  /// exports across calls instead.
+  Status CallProcedure(uint32_t id, const uint8_t* arg, size_t arg_len,
+                       std::vector<uint8_t>* result);
+
   /// --- introspection ----------------------------------------------------------
 
   StatsCollector& stats();
+
+  /// All engine counters (StatName order), including zeros, as name/value
+  /// pairs — one uniform shape for the server's STATS procedure to merge
+  /// with its own session counters.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot();
   /// MV engines only (nullptr under 1V): direct access for tests/benches.
   MVEngine* mv_engine() { return mv_.get(); }
   SVEngine* sv_engine() { return sv_.get(); }
@@ -227,6 +289,12 @@ class Database {
   std::unique_ptr<SVEngine> sv_;
   ObjectPool<Txn> txn_handle_pool_;
   std::mutex checkpoint_mutex_;
+
+  /// Procedure registry. Reads (Find/Call) take the lock shared and hold it
+  /// across the call, so a procedure can never be destroyed mid-execution
+  /// by a concurrent re-registration.
+  std::shared_mutex procedures_mutex_;
+  std::vector<std::pair<std::string, ProcedureFn>> procedures_;
 };
 
 }  // namespace mvstore

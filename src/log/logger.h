@@ -114,10 +114,20 @@ class MemoryLogSink : public LogSink {
 class Logger {
  public:
   /// Logger takes ownership of `sink` (must be non-null unless kDisabled).
-  Logger(LogMode mode, LogSink* sink);
+  ///
+  /// `group_commit_us` > 0 opens a group-commit window: once the flusher
+  /// sees a pending record it waits this long before flushing, so commits
+  /// arriving within the window join the batch and share one sink
+  /// Write+Sync (one fsync when the sink fsyncs). Each counted batch bumps
+  /// log_group_commits by 1 and log_group_size_sum by the batch's record
+  /// count, so mean group size = sum / commits. 0 keeps the pre-window
+  /// behavior: the flusher swaps the buffer as soon as it wakes.
+  Logger(LogMode mode, LogSink* sink, uint32_t group_commit_us = 0,
+         StatsCollector* stats = nullptr);
   ~Logger();
 
   LogMode mode() const { return mode_; }
+  uint32_t group_commit_us() const { return group_commit_us_; }
 
   /// Append one serialized commit record. In kSync mode, blocks until the
   /// record's batch has been flushed to the sink.
@@ -156,12 +166,15 @@ class Logger {
   void FlusherLoop();
 
   const LogMode mode_;
+  const uint32_t group_commit_us_;
+  StatsCollector* const stats_;
   std::unique_ptr<LogSink> sink_;
 
   std::mutex mutex_;
   std::condition_variable flusher_cv_;
   std::condition_variable commit_cv_;
   std::vector<uint8_t> buffer_;
+  uint64_t buffer_records_ = 0;  // records in buffer_ (group-size counter)
   uint64_t appended_lsn_ = 0;  // bytes appended
   uint64_t flushed_lsn_ = 0;   // bytes flushed
 

@@ -1,0 +1,74 @@
+#include "server/loopback.h"
+
+#include <cstring>
+
+#include "server/server_core.h"
+#include "server/session.h"
+
+namespace mvstore {
+
+namespace {
+
+class LoopbackConnection : public Connection {
+ public:
+  LoopbackConnection(ServerCore& core, Session* session)
+      : core_(core), session_(session) {}
+
+  ~LoopbackConnection() override { Close(); }
+
+  bool Send(const uint8_t* data, size_t n) override {
+    if (session_ == nullptr) return false;
+    if (!session_->OnBytes(data, n, &rx_)) {
+      // Fatal protocol error: the session appended its final frame to rx_
+      // (still readable), but the connection is dead for sending.
+      ReleaseSession();
+    }
+    return true;
+  }
+
+  size_t Recv(uint8_t* buf, size_t n) override {
+    const size_t avail = rx_.size() - pos_;
+    if (avail == 0) return 0;  // EOF-equivalent: nothing pending
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(buf, rx_.data() + pos_, take);
+    pos_ += take;
+    if (pos_ == rx_.size()) {
+      rx_.clear();
+      pos_ = 0;
+      // The client consumed everything pending: the write buffer drained,
+      // which re-arms the session's pipeline-burst budget (exactly what an
+      // epoll worker signals when its outbuf empties).
+      if (session_ != nullptr) session_->OnDrained();
+    }
+    return take;
+  }
+
+  void Close() override { ReleaseSession(); }
+
+ private:
+  void ReleaseSession() {
+    if (session_ != nullptr) {
+      core_.CloseSession(session_);
+      session_ = nullptr;
+    }
+  }
+
+  ServerCore& core_;
+  Session* session_;
+  std::vector<uint8_t> rx_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Connection> LoopbackTransport::Connect(Status* status) {
+  Session* session = core_.OpenSession();
+  if (session == nullptr) {
+    if (status != nullptr) *status = Status::Unavailable();
+    return nullptr;
+  }
+  if (status != nullptr) *status = Status::OK();
+  return std::make_unique<LoopbackConnection>(core_, session);
+}
+
+}  // namespace mvstore

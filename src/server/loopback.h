@@ -1,0 +1,36 @@
+// LoopbackTransport: the server without sockets.
+//
+// Implements the client-side Transport interface (client/transport.h) by
+// splicing each connection straight onto a server Session in the same
+// process: Send() feeds the session's frame parser and dispatch loop
+// synchronously, and the responses it produces are buffered for Recv().
+// Every byte still passes through the real wire framing and the real
+// ServerCore admission/backpressure/drain logic — only epoll and the
+// kernel socket buffers are gone — so protocol and session tests (and the
+// malformed-frame suite) run deterministically with no ports, no event
+// loop, and no platform dependency.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/transport.h"
+
+namespace mvstore {
+
+class ServerCore;
+class Session;
+
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(ServerCore& core) : core_(core) {}
+
+  /// Admission control applies exactly as over TCP: a full or draining
+  /// server yields nullptr with *status = kUnavailable.
+  std::unique_ptr<Connection> Connect(Status* status = nullptr) override;
+
+ private:
+  ServerCore& core_;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,444 @@
+#include "server/mv_server.h"
+
+#include "server/session.h"
+#include "server/wire.h"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+#endif
+
+namespace mvstore {
+
+#if defined(__linux__)
+
+namespace {
+
+/// Read chunk per syscall; a connection with more buffered than this just
+/// loops until EAGAIN.
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// Write-side backpressure: once a connection has this many unsent
+/// response bytes buffered, its worker stops reading new requests
+/// (EPOLLIN off) until the peer drains. Without this, a client that
+/// streams requests while never reading responses grows outbuf without
+/// bound — max_pipeline caps admitted frames per burst, not buffered
+/// bytes.
+constexpr size_t kOutbufHighWatermark = 8 * 1024 * 1024;
+
+void WakeEventFd(int fd) {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
+/// Best-effort blocking-ish send of a small buffer on a non-blocking fd
+/// (the pre-close goodbye frame); gives up after a few EAGAIN retries
+/// rather than stalling the acceptor on a hostile peer.
+void SendBestEffort(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  int spins = 0;
+  while (sent < n && spins < 100) {
+    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+    } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++spins;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+struct MVServer::Impl {
+  struct Conn {
+    Session* session = nullptr;
+    std::vector<uint8_t> outbuf;
+    size_t outpos = 0;
+    bool want_write = false;
+    /// EPOLLIN armed; cleared when outbuf passes the high watermark.
+    bool reading = true;
+
+    size_t pending_out() const { return outbuf.size() - outpos; }
+  };
+
+  struct Worker {
+    int epfd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex pending_mutex;
+    std::vector<std::pair<int, Session*>> pending;
+    std::unordered_map<int, Conn> conns;
+  };
+
+  Database& db;
+  ServerOptions options;
+  ServerCore core;
+
+  int listen_fd = -1;
+  int accept_wake_fd = -1;
+  int accept_epfd = -1;
+  uint16_t bound_port = 0;
+  std::thread acceptor;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+  uint32_t next_worker = 0;
+
+  Impl(Database& db_in, ServerOptions options_in)
+      : db(db_in), options(std::move(options_in)), core(db, options.core) {}
+
+  Status Start() {
+    if (running.load(std::memory_order_acquire)) {
+      return Status::InvalidArgument();
+    }
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd < 0) return Status::Internal();
+    int on = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+      CloseStartupFds();
+      return Status::InvalidArgument();
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(listen_fd, 128) < 0) {
+      CloseStartupFds();
+      return Status::Internal();
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port = ntohs(addr.sin_port);
+
+    accept_wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    // The acceptor's epoll is created here, not in the thread: an fd-limit
+    // failure must fail Start() loudly, not leave a silently-spinning
+    // acceptor that never accepts.
+    accept_epfd = ::epoll_create1(0);
+    if (accept_wake_fd < 0 || accept_epfd < 0) {
+      CloseStartupFds();
+      return Status::Internal();
+    }
+    {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd;
+      if (::epoll_ctl(accept_epfd, EPOLL_CTL_ADD, listen_fd, &ev) != 0) {
+        CloseStartupFds();
+        return Status::Internal();
+      }
+      ev.data.fd = accept_wake_fd;
+      ::epoll_ctl(accept_epfd, EPOLL_CTL_ADD, accept_wake_fd, &ev);
+    }
+    const uint32_t n_workers = options.workers > 0 ? options.workers : 1;
+    for (uint32_t i = 0; i < n_workers; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->epfd = ::epoll_create1(0);
+      w->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+      if (w->epfd < 0 || w->wake_fd < 0) {
+        CloseStartupFds();
+        return Status::Internal();
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = w->wake_fd;
+      ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+      workers.push_back(std::move(w));
+    }
+    running.store(true, std::memory_order_release);
+    for (auto& w : workers) {
+      Worker* worker = w.get();
+      worker->thread = std::thread([this, worker] { WorkerLoop(worker); });
+    }
+    acceptor = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
+
+  void CloseStartupFds() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+    if (accept_wake_fd >= 0) ::close(accept_wake_fd);
+    accept_wake_fd = -1;
+    if (accept_epfd >= 0) ::close(accept_epfd);
+    accept_epfd = -1;
+    for (auto& w : workers) {
+      if (w->epfd >= 0) ::close(w->epfd);
+      if (w->wake_fd >= 0) ::close(w->wake_fd);
+    }
+    workers.clear();
+  }
+
+  void AcceptLoop() {
+    epoll_event events[8];
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      int n = ::epoll_wait(accept_epfd, events, 8, 100);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // A broken epoll must not become a busy spin.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd != listen_fd) continue;
+        while (true) {
+          int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+          if (fd < 0) break;
+          int on = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+          Session* session = core.OpenSession();
+          if (session == nullptr) {
+            // Refused (full or draining): say why, then close. The client
+            // maps the fatal kBye to Status::Unavailable.
+            std::vector<uint8_t> bye;
+            wire::AppendResponse(&bye, wire::Opcode::kBye,
+                                 Status::Unavailable(), nullptr, 0,
+                                 /*fatal=*/true);
+            SendBestEffort(fd, bye.data(), bye.size());
+            ::close(fd);
+            continue;
+          }
+          Worker* w = workers[next_worker++ % workers.size()].get();
+          {
+            std::lock_guard<std::mutex> guard(w->pending_mutex);
+            w->pending.emplace_back(fd, session);
+          }
+          WakeEventFd(w->wake_fd);
+        }
+      }
+    }
+  }
+
+  void WorkerLoop(Worker* w) {
+    epoll_event events[64];
+    uint8_t chunk[kReadChunk];
+    while (true) {
+      int n = ::epoll_wait(w->epfd, events, 64, 100);
+      if (stop_requested.load(std::memory_order_acquire)) break;
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == w->wake_fd) {
+          uint64_t drain;
+          while (::read(w->wake_fd, &drain, sizeof(drain)) > 0) {
+          }
+          AdoptPending(w);
+          continue;
+        }
+        auto it = w->conns.find(fd);
+        if (it == w->conns.end()) continue;
+        Conn& conn = it->second;
+        bool alive = true;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
+        if (alive && conn.reading && (events[i].events & EPOLLIN)) {
+          while (alive && conn.pending_out() < kOutbufHighWatermark) {
+            ssize_t r = ::read(fd, chunk, sizeof(chunk));
+            if (r > 0) {
+              alive = conn.session->OnBytes(chunk, static_cast<size_t>(r),
+                                            &conn.outbuf);
+            } else if (r == 0) {
+              alive = false;  // peer closed
+            } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              break;
+            } else {
+              alive = false;
+            }
+          }
+        }
+        if (!conn.outbuf.empty()) {
+          if (!FlushConn(w, fd, conn)) alive = false;
+        }
+        if (alive && conn.reading &&
+            conn.pending_out() >= kOutbufHighWatermark) {
+          // Slow reader: park the read side until the write side drains
+          // (FlushConn re-arms EPOLLIN when outbuf empties). Unread
+          // request bytes stay in the kernel socket buffer, which is the
+          // backpressure the client eventually feels.
+          conn.reading = false;
+          UpdateEvents(w, fd, conn);
+        }
+        if (!alive) {
+          // A fatal-parse goodbye may still sit in outbuf; push what we can
+          // before closing.
+          if (conn.outpos < conn.outbuf.size()) {
+            SendBestEffort(fd, conn.outbuf.data() + conn.outpos,
+                           conn.outbuf.size() - conn.outpos);
+          }
+          CloseConn(w, fd);
+        }
+      }
+    }
+    // Teardown: close every connection this worker still owns.
+    std::vector<int> fds;
+    fds.reserve(w->conns.size());
+    for (const auto& [fd, conn] : w->conns) fds.push_back(fd);
+    for (int fd : fds) CloseConn(w, fd);
+    AdoptPending(w, /*closing=*/true);
+  }
+
+  void AdoptPending(Worker* w, bool closing = false) {
+    std::vector<std::pair<int, Session*>> pending;
+    {
+      std::lock_guard<std::mutex> guard(w->pending_mutex);
+      pending.swap(w->pending);
+    }
+    for (auto& [fd, session] : pending) {
+      if (closing) {
+        core.CloseSession(session);
+        ::close(fd);
+        continue;
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(w->epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        core.CloseSession(session);
+        ::close(fd);
+        continue;
+      }
+      Conn conn;
+      conn.session = session;
+      w->conns.emplace(fd, std::move(conn));
+    }
+  }
+
+  void UpdateEvents(Worker* w, int fd, const Conn& conn) {
+    epoll_event ev{};
+    ev.events = (conn.reading ? EPOLLIN : 0u) |
+                (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  /// Write as much of conn.outbuf as the socket accepts; arms EPOLLOUT on
+  /// short writes. False on a dead socket.
+  bool FlushConn(Worker* w, int fd, Conn& conn) {
+    while (conn.outpos < conn.outbuf.size()) {
+      ssize_t sent = ::send(fd, conn.outbuf.data() + conn.outpos,
+                            conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.outpos += static_cast<size_t>(sent);
+      } else if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          UpdateEvents(w, fd, conn);
+        }
+        return true;
+      } else {
+        return false;
+      }
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    conn.session->OnDrained();
+    if (conn.want_write || !conn.reading) {
+      conn.want_write = false;
+      conn.reading = true;  // drained: resume reading a parked slow reader
+      UpdateEvents(w, fd, conn);
+    }
+    return true;
+  }
+
+  void CloseConn(Worker* w, int fd) {
+    auto it = w->conns.find(fd);
+    if (it == w->conns.end()) return;
+    core.CloseSession(it->second.session);
+    ::epoll_ctl(w->epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    w->conns.erase(it);
+  }
+
+  void Stop() {
+    if (!running.exchange(false, std::memory_order_acq_rel)) return;
+    // Phase 1 — drain: no new sessions or transactions; in-flight
+    // transactions keep running on live event loops until they finish (or
+    // the timeout gives up on them; their sessions then abort what's open).
+    core.BeginDrain();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options.drain_timeout_ms);
+    while (core.sessions_with_open_txn() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Phase 2 — make everything a client saw commit durable before the
+    // sockets go away.
+    db.logger().FlushAll();
+    // Phase 3 — tear down the event loops.
+    stop_requested.store(true, std::memory_order_release);
+    WakeEventFd(accept_wake_fd);
+    for (auto& w : workers) WakeEventFd(w->wake_fd);
+    if (acceptor.joinable()) acceptor.join();
+    for (auto& w : workers) {
+      if (w->thread.joinable()) w->thread.join();
+      ::close(w->epfd);
+      ::close(w->wake_fd);
+    }
+    workers.clear();
+    ::close(listen_fd);
+    listen_fd = -1;
+    ::close(accept_wake_fd);
+    accept_wake_fd = -1;
+    ::close(accept_epfd);
+    accept_epfd = -1;
+  }
+};
+
+MVServer::MVServer(Database& db, ServerOptions options)
+    : impl_(std::make_unique<Impl>(db, std::move(options))) {}
+
+MVServer::~MVServer() { Stop(); }
+
+Status MVServer::Start() { return impl_->Start(); }
+
+void MVServer::Stop() { impl_->Stop(); }
+
+bool MVServer::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+uint16_t MVServer::port() const { return impl_->bound_port; }
+
+ServerCore& MVServer::core() { return impl_->core; }
+
+#else  // !__linux__
+
+struct MVServer::Impl {
+  ServerCore core;
+  Impl(Database& db, const ServerOptions& options)
+      : core(db, options.core) {}
+};
+
+MVServer::MVServer(Database& db, ServerOptions options)
+    : impl_(std::make_unique<Impl>(db, options)) {}
+
+MVServer::~MVServer() = default;
+
+Status MVServer::Start() { return Status::Unavailable(); }
+
+void MVServer::Stop() {}
+
+bool MVServer::running() const { return false; }
+
+uint16_t MVServer::port() const { return 0; }
+
+ServerCore& MVServer::core() { return impl_->core; }
+
+#endif  // __linux__
+
+}  // namespace mvstore

@@ -1,0 +1,87 @@
+#include "server/server_core.h"
+
+#include "server/session.h"
+
+namespace mvstore {
+
+ServerCore::ServerCore(Database& db, ServerCoreOptions options)
+    : db_(db), options_(options) {}
+
+ServerCore::~ServerCore() = default;
+
+Session* ServerCore::OpenSession() {
+  if (draining()) {
+    sessions_refused.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    sessions_refused.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto session = std::make_unique<Session>(db_, *this);
+  Session* raw = session.get();
+  sessions_.emplace(raw, std::move(session));
+  sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+void ServerCore::CloseSession(Session* session) {
+  if (session == nullptr) return;
+  std::unique_ptr<Session> owned;
+  {
+    std::lock_guard<std::mutex> guard(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    owned = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Destroyed outside the lock: the destructor aborts an open transaction,
+  // which can block (lock release, dependency machinery) and must not
+  // stall every other connect/disconnect.
+}
+
+void ServerCore::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+uint32_t ServerCore::active_sessions() {
+  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  return static_cast<uint32_t>(sessions_.size());
+}
+
+uint32_t ServerCore::sessions_with_open_txn() {
+  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  uint32_t n = 0;
+  for (const auto& [raw, session] : sessions_) {
+    if (session->has_open_txn()) ++n;
+  }
+  return n;
+}
+
+std::string ServerCore::StatsText() {
+  std::string out;
+  auto line = [&out](const char* name, uint64_t value) {
+    out += "server.";
+    out += name;
+    out += "=";
+    out += std::to_string(value);
+    out += "\n";
+  };
+  line("sessions_active", active_sessions());
+  line("sessions_opened", sessions_opened.load(std::memory_order_relaxed));
+  line("sessions_refused", sessions_refused.load(std::memory_order_relaxed));
+  line("frames_processed", frames_processed.load(std::memory_order_relaxed));
+  line("frames_rejected", frames_rejected.load(std::memory_order_relaxed));
+  line("requests_unavailable",
+       requests_unavailable.load(std::memory_order_relaxed));
+  for (const auto& [name, value] : db_.CounterSnapshot()) {
+    out += name;
+    out += "=";
+    out += std::to_string(value);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mvstore

@@ -1,0 +1,94 @@
+// ServerCore: the transport-independent half of the server.
+//
+// Owns what every front end shares — the session registry, admission
+// control, drain state, and service counters — so the epoll server
+// (server/mv_server.h) and the in-process loopback transport
+// (server/loopback.h) drive the exact same session, dispatch, and
+// backpressure code. The transports differ only in how bytes arrive.
+//
+// Admission control and backpressure:
+//  * max_sessions: OpenSession refuses (nullptr) once this many sessions
+//    are live; the transport tells the client kUnavailable and closes.
+//  * max_pipeline: frames a session admits per burst (between write-buffer
+//    drains); excess frames are answered kUnavailable instead of queueing
+//    unboundedly (the request is never started, so retrying is safe).
+//  * BeginDrain: new sessions and new-transaction work (kBegin, kCall) are
+//    refused kUnavailable while in-flight transactions may still finish
+//    and commit — the graceful-shutdown contract: no committed work is
+//    lost, and a later reopen of the database recovers all of it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/database.h"
+
+namespace mvstore {
+
+class Session;
+
+struct ServerCoreOptions {
+  /// Live-session cap; further connects are refused kUnavailable.
+  uint32_t max_sessions = 256;
+  /// Frames a session accepts per burst before answering kUnavailable.
+  uint32_t max_pipeline = 64;
+};
+
+class ServerCore {
+ public:
+  ServerCore(Database& db, ServerCoreOptions options = {});
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  Database& db() { return db_; }
+  const ServerCoreOptions& options() const { return options_; }
+
+  /// Admit a session, or nullptr when the server is full or draining. The
+  /// returned session stays owned by the core; release it with
+  /// CloseSession.
+  Session* OpenSession();
+  void CloseSession(Session* session);
+
+  /// Stop admitting sessions and new transactions; in-flight transactions
+  /// may still run to commit/abort. Irreversible.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  uint32_t active_sessions();
+  /// Sessions currently holding an open transaction (the drain wait
+  /// watches this go to zero).
+  uint32_t sessions_with_open_txn();
+
+  /// Service + engine counters as "name=value" lines: the server's own
+  /// counters prefixed "server.", then Database::CounterSnapshot() — one
+  /// uniform report for the STATS opcode.
+  std::string StatsText();
+
+  /// --- service counters -------------------------------------------------------
+
+  std::atomic<uint64_t> sessions_opened{0};
+  std::atomic<uint64_t> sessions_refused{0};
+  std::atomic<uint64_t> frames_processed{0};
+  /// Malformed frames (framing lost; the connection died with them).
+  std::atomic<uint64_t> frames_rejected{0};
+  /// Requests answered kUnavailable (pipeline overflow or drain).
+  std::atomic<uint64_t> requests_unavailable{0};
+
+ private:
+  Database& db_;
+  const ServerCoreOptions options_;
+  std::atomic<bool> draining_{false};
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<Session*, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace mvstore

@@ -1,0 +1,299 @@
+#include "server/session.h"
+
+#include "core/database.h"
+#include "server/server_core.h"
+
+namespace mvstore {
+
+namespace {
+
+using wire::AppendResponse;
+using wire::BodyReader;
+using wire::Frame;
+using wire::Opcode;
+
+/// Rows a single kScanRange response may carry, whatever the client asked
+/// for: a garbage max_rows must not let one frame materialize the table.
+constexpr uint32_t kScanRowCap = 65536;
+
+/// Byte budget for a kScanRange response payload: stop the scan before the
+/// response could outgrow wire::kMaxFrameBody — an over-limit frame would
+/// be *valid work* that the client's parser must reject, poisoning the
+/// connection. Half the frame limit leaves ample headroom for the count
+/// prefix and status bytes.
+constexpr size_t kScanByteCap = wire::kMaxFrameBody / 2;
+
+/// Response bytes a session may buffer before refusing further frames in
+/// the burst. The transport's own watermark only runs between socket
+/// reads, but one 64KB read can carry a full pipeline of scans, each
+/// producing megabytes — the byte budget must bind per *frame*, exactly
+/// like the frame-count budget, or a single burst can balloon the write
+/// buffer unboundedly before the transport ever sees it.
+constexpr size_t kBurstByteCap = 8 * 1024 * 1024;
+
+void RespondEmpty(std::vector<uint8_t>* out, Opcode opcode,
+                  const Status& status) {
+  AppendResponse(out, opcode, status, nullptr, 0);
+}
+
+}  // namespace
+
+Session::Session(Database& db, ServerCore& core) : db_(db), core_(core) {}
+
+Session::~Session() {
+  if (txn_ != nullptr) db_.Abort(txn_);
+}
+
+bool Session::OnBytes(const uint8_t* data, size_t n,
+                      std::vector<uint8_t>* out) {
+  parser_.Feed(data, n);
+  Frame frame;
+  while (true) {
+    wire::FrameParser::Result r = parser_.Next(&frame);
+    if (r == wire::FrameParser::Result::kNeedMore) return true;
+    if (r == wire::FrameParser::Result::kBad) {
+      // Framing is lost: no further byte on this stream can be trusted to
+      // start a frame. Tell the client (it may be blocked awaiting a
+      // response) and close.
+      core_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      AppendResponse(out, Opcode::kBye, Status::InvalidArgument(), nullptr, 0,
+                     /*fatal=*/true);
+      return false;
+    }
+    core_.frames_processed.fetch_add(1, std::memory_order_relaxed);
+    if (++burst_depth_ > core_.options().max_pipeline ||
+        out->size() >= kBurstByteCap) {
+      // Queue full: answer (so pipelined bookkeeping stays aligned) without
+      // starting the request; the client retries after draining. If the
+      // refused frame belonged to an open interactive transaction, abort
+      // that transaction too — otherwise a burst of Begin + N ops + Commit
+      // whose tail was refused would leave a *partial* write set open,
+      // and a later Commit would make it durable. Aborting keeps the
+      // contract honest: nothing the refusal touched can ever commit.
+      core_.requests_unavailable.fetch_add(1, std::memory_order_relaxed);
+      if (txn_ != nullptr) {
+        db_.Abort(txn_);
+        txn_ = nullptr;
+      }
+      RespondEmpty(out, frame.opcode, Status::Unavailable());
+      continue;
+    }
+    HandleFrame(frame, out);
+  }
+}
+
+void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  BodyReader body(frame.body.data(), frame.body.size());
+  switch (frame.opcode) {
+    case Opcode::kPing:
+      RespondEmpty(out, frame.opcode, Status::OK());
+      return;
+
+    case Opcode::kBegin: {
+      uint8_t iso_byte = 0;
+      uint8_t read_only = 0;
+      if (!body.Read(&iso_byte) || !body.Read(&read_only) ||
+          iso_byte > static_cast<uint8_t>(IsolationLevel::kSerializable)) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      if (txn_ != nullptr) {  // one interactive transaction per session
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      if (core_.draining()) {
+        core_.requests_unavailable.fetch_add(1, std::memory_order_relaxed);
+        RespondEmpty(out, frame.opcode, Status::Unavailable());
+        return;
+      }
+      isolation_ = static_cast<IsolationLevel>(iso_byte);
+      txn_ = db_.Begin(isolation_, read_only != 0);
+      RespondEmpty(out, frame.opcode, Status::OK());
+      return;
+    }
+
+    case Opcode::kCommit: {
+      if (txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      Status s = db_.Commit(txn_);
+      txn_ = nullptr;
+      RespondEmpty(out, frame.opcode, s);
+      return;
+    }
+
+    case Opcode::kAbort: {
+      if (txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      db_.Abort(txn_);
+      txn_ = nullptr;
+      RespondEmpty(out, frame.opcode, Status::OK());
+      return;
+    }
+
+    case Opcode::kGet: {
+      TableId table = 0;
+      IndexId index = 0;
+      uint64_t key = 0;
+      if (!body.Read(&table) || !body.Read(&index) || !body.Read(&key) ||
+          table >= db_.NumTables() || index >= db_.NumIndexes(table) ||
+          txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      std::vector<uint8_t> row(db_.PayloadSize(table));
+      Status s = db_.Read(txn_, table, index, key, row.data());
+      if (s.IsAborted()) txn_ = nullptr;
+      AppendResponse(out, frame.opcode, s, s.ok() ? row.data() : nullptr,
+                     s.ok() ? row.size() : 0);
+      return;
+    }
+
+    case Opcode::kInsert: {
+      TableId table = 0;
+      if (!body.Read(&table) || table >= db_.NumTables() ||
+          body.remaining() != db_.PayloadSize(table) || txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      Status s = db_.Insert(txn_, table, body.rest());
+      if (s.IsAborted()) txn_ = nullptr;
+      RespondEmpty(out, frame.opcode, s);
+      return;
+    }
+
+    case Opcode::kUpdate: {
+      TableId table = 0;
+      IndexId index = 0;
+      uint64_t key = 0;
+      if (!body.Read(&table) || !body.Read(&index) || !body.Read(&key) ||
+          table >= db_.NumTables() || index >= db_.NumIndexes(table) ||
+          body.remaining() != db_.PayloadSize(table) || txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      const uint8_t* payload = body.rest();
+      const uint32_t size = db_.PayloadSize(table);
+      Status s = db_.Update(txn_, table, index, key, [&](void* p) {
+        std::memcpy(p, payload, size);
+      });
+      if (s.IsAborted()) txn_ = nullptr;
+      RespondEmpty(out, frame.opcode, s);
+      return;
+    }
+
+    case Opcode::kDelete: {
+      TableId table = 0;
+      IndexId index = 0;
+      uint64_t key = 0;
+      if (!body.Read(&table) || !body.Read(&index) || !body.Read(&key) ||
+          table >= db_.NumTables() || index >= db_.NumIndexes(table) ||
+          txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      Status s = db_.Delete(txn_, table, index, key);
+      if (s.IsAborted()) txn_ = nullptr;
+      RespondEmpty(out, frame.opcode, s);
+      return;
+    }
+
+    case Opcode::kScanRange: {
+      TableId table = 0;
+      IndexId index = 0;
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      uint32_t max_rows = 0;
+      if (!body.Read(&table) || !body.Read(&index) || !body.Read(&lo) ||
+          !body.Read(&hi) || !body.Read(&max_rows) ||
+          table >= db_.NumTables() || index >= db_.NumIndexes(table) ||
+          txn_ == nullptr) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      const uint32_t cap = max_rows < kScanRowCap ? max_rows : kScanRowCap;
+      std::vector<uint8_t> payload;
+      wire::Put(&payload, uint32_t{0});  // row count, patched below
+      uint32_t count = 0;
+      const uint32_t size = db_.PayloadSize(table);
+      Status s = Status::OK();
+      if (cap > 0) {
+        s = db_.ScanRange(txn_, table, index, lo, hi, nullptr,
+                          [&](const void* row) {
+                            wire::Put(&payload, size);
+                            wire::PutBytes(&payload, row, size);
+                            return ++count < cap &&
+                                   payload.size() < kScanByteCap;
+                          });
+      }
+      if (s.IsAborted()) txn_ = nullptr;
+      if (!s.ok()) {
+        RespondEmpty(out, frame.opcode, s);
+        return;
+      }
+      std::memcpy(payload.data(), &count, sizeof(count));
+      AppendResponse(out, frame.opcode, s, payload.data(), payload.size());
+      return;
+    }
+
+    case Opcode::kCall: {
+      uint32_t proc_id = 0;
+      if (!body.Read(&proc_id)) {
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      if (core_.draining()) {  // a procedure is a new transaction
+        core_.requests_unavailable.fetch_add(1, std::memory_order_relaxed);
+        RespondEmpty(out, frame.opcode, Status::Unavailable());
+        return;
+      }
+      std::vector<uint8_t> result;
+      Status s =
+          db_.CallProcedure(proc_id, body.rest(), body.remaining(), &result);
+      if (result.size() + 2 > wire::kMaxFrameBody) {
+        // A procedure result too large to frame: an oversized frame would
+        // be rejected by the client's parser and kill the connection, so
+        // fail just this call instead.
+        RespondEmpty(out, frame.opcode, Status::Internal());
+        return;
+      }
+      AppendResponse(out, frame.opcode, s, result.data(), result.size());
+      return;
+    }
+
+    case Opcode::kResolve: {
+      std::string name(reinterpret_cast<const char*>(body.rest()),
+                       body.remaining());
+      int64_t id = db_.FindProcedure(name);
+      if (id < 0) {
+        RespondEmpty(out, frame.opcode, Status::NotFound());
+        return;
+      }
+      std::vector<uint8_t> payload;
+      wire::Put(&payload, static_cast<uint32_t>(id));
+      AppendResponse(out, frame.opcode, Status::OK(), payload.data(),
+                     payload.size());
+      return;
+    }
+
+    case Opcode::kStats: {
+      std::string text = core_.StatsText();
+      AppendResponse(out, frame.opcode, Status::OK(),
+                     reinterpret_cast<const uint8_t*>(text.data()),
+                     text.size());
+      return;
+    }
+
+    case Opcode::kBye:
+      // Server-to-client only; as a request it is protocol misuse, but the
+      // frame itself was well-formed, so answer and keep the connection.
+      RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+      return;
+  }
+  RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+}
+
+}  // namespace mvstore

@@ -1,0 +1,124 @@
+#include "server/wire.h"
+
+#include <cstddef>
+
+namespace mvstore {
+namespace wire {
+
+namespace {
+constexpr uint8_t kMagic0 = 'M';
+constexpr uint8_t kMagic1 = 'V';
+}  // namespace
+
+uint32_t FrameChecksum(uint8_t flags, uint8_t opcode, const uint8_t* body,
+                       size_t body_len) {
+  uint32_t h = 2166136261u;
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 16777619u;
+  };
+  mix(flags);
+  mix(opcode);
+  for (size_t i = 0; i < body_len; ++i) mix(body[i]);
+  return h;
+}
+
+void AppendFrame(std::vector<uint8_t>* out, Opcode opcode, uint8_t flags,
+                 const uint8_t* body, size_t body_len) {
+  Put(out, kMagic0);
+  Put(out, kMagic1);
+  Put(out, flags);
+  Put(out, static_cast<uint8_t>(opcode));
+  Put(out, static_cast<uint32_t>(body_len));
+  Put(out, FrameChecksum(flags, static_cast<uint8_t>(opcode), body, body_len));
+  if (body_len > 0) PutBytes(out, body, body_len);
+}
+
+void AppendResponse(std::vector<uint8_t>* out, Opcode opcode,
+                    const Status& status, const uint8_t* payload,
+                    size_t payload_len, bool fatal) {
+  std::vector<uint8_t> body;
+  body.reserve(2 + payload_len);
+  Put(&body, static_cast<uint8_t>(status.code()));
+  Put(&body, static_cast<uint8_t>(status.abort_reason()));
+  if (payload_len > 0) PutBytes(&body, payload, payload_len);
+  AppendFrame(out, opcode, kFlagResponse | (fatal ? kFlagFatal : 0),
+              body.data(), body.size());
+}
+
+Status WireToStatus(uint8_t code, uint8_t reason) {
+  if (code > static_cast<uint8_t>(Status::Code::kUnavailable) ||
+      reason > static_cast<uint8_t>(AbortReason::kUserRequested)) {
+    return Status::Internal();
+  }
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kAborted:
+      return Status::Aborted(static_cast<AbortReason>(reason));
+    case Status::Code::kNotFound:
+      return Status::NotFound();
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument();
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists();
+    case Status::Code::kInternal:
+      return Status::Internal();
+    case Status::Code::kUnavailable:
+      return Status::Unavailable();
+  }
+  return Status::Internal();
+}
+
+void FrameParser::Feed(const uint8_t* data, size_t n) {
+  if (bad_) return;
+  // Compact before growing: pos_ only moves forward, and a long-lived
+  // pipelined connection must not accrete every frame it ever parsed.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameParser::Result FrameParser::Next(Frame* frame) {
+  if (bad_) return Result::kBad;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderSize) return Result::kNeedMore;
+  const uint8_t* h = buf_.data() + pos_;
+  // Validate everything the header alone can prove before waiting for the
+  // body: a garbage length must neither allocate nor stall the connection
+  // waiting for bytes that will never come.
+  if (h[0] != kMagic0 || h[1] != kMagic1) {
+    bad_ = true;
+    return Result::kBad;
+  }
+  const uint8_t flags = h[2];
+  const uint8_t opcode = h[3];
+  if ((flags & ~kKnownFlags) != 0 || opcode > kMaxOpcode) {
+    bad_ = true;
+    return Result::kBad;
+  }
+  uint32_t body_len = 0;
+  uint32_t checksum = 0;
+  std::memcpy(&body_len, h + 4, 4);
+  std::memcpy(&checksum, h + 8, 4);
+  if (body_len > kMaxFrameBody) {
+    bad_ = true;
+    return Result::kBad;
+  }
+  if (avail < kHeaderSize + body_len) return Result::kNeedMore;
+  const uint8_t* body = h + kHeaderSize;
+  if (FrameChecksum(flags, opcode, body, body_len) != checksum) {
+    bad_ = true;
+    return Result::kBad;
+  }
+  frame->flags = flags;
+  frame->opcode = static_cast<Opcode>(opcode);
+  frame->body.assign(body, body + body_len);
+  pos_ += kHeaderSize + body_len;
+  return Result::kFrame;
+}
+
+}  // namespace wire
+}  // namespace mvstore

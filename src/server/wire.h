@@ -1,0 +1,172 @@
+// Wire protocol: length-prefixed, checksummed binary frames.
+//
+// The service layer (src/server/, src/client/) speaks one frame format in
+// both directions, with the same hardening discipline as the redo log
+// format (log/log_record.h): opcode and length bounds are validated before
+// anything is allocated, the checksum is verified before a frame is
+// dispatched, and garbage bytes kill the connection instead of desyncing
+// the stream. Frames are pipelined: a connection may carry any number of
+// request frames before reading a response, and responses come back in
+// request order.
+//
+// Frame layout (all integers little-endian, 12-byte header):
+//
+//   magic 'M','V' (2B) | flags (1B) | opcode (1B) | body_len (4B) |
+//   checksum (4B) | body (body_len bytes)
+//
+// The checksum is FNV-1a over flags, opcode, and the body, so a corrupted
+// opcode cannot dispatch and a corrupted length is caught by the magic of
+// the following frame or by the checksum of this one.
+//
+// Request bodies by opcode (responses mirror the request opcode with
+// kFlagResponse set; their body is status_code (1B) | abort_reason (1B) |
+// payload):
+//
+//   kPing        -                                    -> -
+//   kBegin       isolation (1B) | read_only (1B)      -> -
+//   kCommit      -                                    -> -
+//   kAbort       -                                    -> -
+//   kGet         table (4B) | index (4B) | key (8B)   -> row payload
+//   kInsert      table (4B) | payload                 -> -
+//   kUpdate      table (4B) | index (4B) | key (8B) | payload  -> -
+//   kDelete      table (4B) | index (4B) | key (8B)   -> -
+//   kScanRange   table (4B) | index (4B) | lo (8B) | hi (8B) | max_rows (4B)
+//                                      -> count (4B) | count * (len(4B)|row)
+//   kCall        proc_id (4B) | argument bytes        -> procedure result
+//   kResolve     procedure name bytes                 -> proc_id (4B)
+//   kStats       -                                    -> "name=value\n" text
+//   kBye         (server->client only) sent with kFlagFatal before the
+//                server closes a refused or shutting-down connection; its
+//                status explains why (kUnavailable).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mvstore {
+namespace wire {
+
+enum class Opcode : uint8_t {
+  kPing = 0,
+  kBegin,
+  kCommit,
+  kAbort,
+  kGet,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kScanRange,
+  kCall,
+  kResolve,
+  kStats,
+  kBye,
+};
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kBye);
+
+constexpr uint8_t kFlagResponse = 0x1;
+/// The sender closes the connection after this frame.
+constexpr uint8_t kFlagFatal = 0x2;
+constexpr uint8_t kKnownFlags = kFlagResponse | kFlagFatal;
+
+constexpr size_t kHeaderSize = 12;
+/// Upper bound on body_len: anything larger is a garbage length, rejected
+/// before allocation (same rule as ParseLogRecord's insert-size bound).
+constexpr uint32_t kMaxFrameBody = 4u << 20;
+
+/// FNV-1a (32-bit) over flags | opcode | body.
+uint32_t FrameChecksum(uint8_t flags, uint8_t opcode, const uint8_t* body,
+                       size_t body_len);
+
+struct Frame {
+  uint8_t flags = 0;
+  Opcode opcode = Opcode::kPing;
+  std::vector<uint8_t> body;
+};
+
+/// Append one encoded frame to `out`.
+void AppendFrame(std::vector<uint8_t>* out, Opcode opcode, uint8_t flags,
+                 const uint8_t* body, size_t body_len);
+
+/// Append a response frame: status_code | abort_reason | payload.
+void AppendResponse(std::vector<uint8_t>* out, Opcode opcode,
+                    const Status& status, const uint8_t* payload,
+                    size_t payload_len, bool fatal = false);
+
+/// Decode the two status bytes of a response body; garbage bytes (unknown
+/// code or reason) decode to Internal rather than trusting the peer.
+Status WireToStatus(uint8_t code, uint8_t reason);
+
+/// Incremental frame scanner: feed bytes as they arrive (in any split —
+/// byte-by-byte is fine), pull complete frames out. After kBad the stream
+/// is unrecoverable (framing lost) and the connection must close.
+class FrameParser {
+ public:
+  enum class Result : uint8_t {
+    kFrame,     // *frame filled
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // malformed: bad magic/flags/opcode, oversized length,
+                // or checksum mismatch
+  };
+
+  void Feed(const uint8_t* data, size_t n);
+  Result Next(Frame* frame);
+
+  /// Bytes buffered but not yet consumed by Next.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+  bool bad_ = false;
+};
+
+/// Little-endian body reader with the bounds discipline of ParseLogRecord:
+/// every read is checked, and a failed read poisons nothing (the caller
+/// just rejects the frame).
+class BodyReader {
+ public:
+  BodyReader(const uint8_t* data, size_t n) : data_(data), n_(n) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (pos_ + sizeof(T) > n_) return false;
+    std::memcpy(value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (pos_ + n > n_) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// The unread remainder (payload tails: insert/update payloads, call
+  /// arguments, names).
+  const uint8_t* rest() const { return data_ + pos_; }
+  size_t remaining() const { return n_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+inline void Put(std::vector<uint8_t>* out, T value) {
+  const size_t old_size = out->size();
+  out->resize(old_size + sizeof(T));
+  std::memcpy(out->data() + old_size, &value, sizeof(T));
+}
+
+inline void PutBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
+  const size_t old_size = out->size();
+  out->resize(old_size + n);
+  std::memcpy(out->data() + old_size, data, n);
+}
+
+}  // namespace wire
+}  // namespace mvstore

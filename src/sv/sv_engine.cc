@@ -26,7 +26,8 @@ SVEngine::SVEngine(SVEngineOptions options)
       sink = new FileLogSink(options_.log_path, options_.fsync_log, &stats_);
     }
   }
-  logger_ = std::make_unique<Logger>(options_.log_mode, sink);
+  logger_ = std::make_unique<Logger>(options_.log_mode, sink,
+                                     options_.group_commit_us, &stats_);
 }
 
 SVEngine::~SVEngine() {

@@ -53,6 +53,8 @@ struct SVEngineOptions {
   /// > 0: rotating-segment log at this size; 0: one append-only file
   /// (see MVEngineOptions::log_segment_bytes).
   uint64_t log_segment_bytes = 0;
+  /// Group-commit window (see Logger); 0 = flush as soon as possible.
+  uint32_t group_commit_us = 0;
   /// Recycle row slots through per-table slabs and transaction objects
   /// through a pool (mem/); off = plain heap (debug fallback).
   bool use_slab_allocator = true;

@@ -41,6 +41,12 @@ uint64_t CallForwardingSf(const void* p) {
 }  // namespace
 
 TatpDatabase LoadTatp(Database& db, uint64_t subscribers, uint64_t seed) {
+  TatpDatabase tatp = CreateTatpTables(db, subscribers);
+  PopulateTatp(db, tatp, seed);
+  return tatp;
+}
+
+TatpDatabase CreateTatpTables(Database& db, uint64_t subscribers) {
   TatpDatabase tatp;
   tatp.subscribers = subscribers;
 
@@ -76,7 +82,11 @@ TatpDatabase LoadTatp(Database& db, uint64_t subscribers, uint64_t seed) {
     def.indexes.push_back(IndexDef{&CallForwardingSf, subscribers * 2, false});
     tatp.call_forwarding = db.CreateTable(def);
   }
+  return tatp;
+}
 
+void PopulateTatp(Database& db, const TatpDatabase& tatp, uint64_t seed) {
+  const uint64_t subscribers = tatp.subscribers;
   Random rng(seed);
   for (uint64_t sid = 1; sid <= subscribers; ++sid) {
     Txn* txn = db.Begin(IsolationLevel::kReadCommitted);
@@ -134,7 +144,6 @@ TatpDatabase LoadTatp(Database& db, uint64_t subscribers, uint64_t seed) {
     }
     db.Commit(txn);
   }
-  return tatp;
 }
 
 TatpTxnType PickTxnType(Random& rng) {
@@ -348,6 +357,76 @@ bool CheckConsistency(Database& db, const TatpDatabase& tatp) {
   }
   db.Commit(txn);
   return consistent;
+}
+
+const char* TatpProcedureName(TatpTxnType type) {
+  switch (type) {
+    case TatpTxnType::kGetSubscriberData:
+      return "tatp.get_subscriber_data";
+    case TatpTxnType::kGetNewDestination:
+      return "tatp.get_new_destination";
+    case TatpTxnType::kGetAccessData:
+      return "tatp.get_access_data";
+    case TatpTxnType::kUpdateSubscriberData:
+      return "tatp.update_subscriber_data";
+    case TatpTxnType::kUpdateLocation:
+      return "tatp.update_location";
+    case TatpTxnType::kInsertCallForwarding:
+      return "tatp.insert_call_forwarding";
+    case TatpTxnType::kDeleteCallForwarding:
+      return "tatp.delete_call_forwarding";
+  }
+  return "tatp.unknown";
+}
+
+namespace {
+
+/// Decode the shared procedure argument frame: seed (8B) | isolation (1B).
+bool ParseTatpArg(const uint8_t* arg, size_t arg_len, uint64_t* seed,
+                  IsolationLevel* iso) {
+  if (arg_len < 9) return false;
+  std::memcpy(seed, arg, 8);
+  uint8_t iso_byte = arg[8];
+  *iso = iso_byte <= static_cast<uint8_t>(IsolationLevel::kSerializable)
+             ? static_cast<IsolationLevel>(iso_byte)
+             : IsolationLevel::kReadCommitted;
+  return true;
+}
+
+}  // namespace
+
+uint32_t RegisterTatpProcedures(Database& db, const TatpDatabase& tatp) {
+  uint32_t first = 0;
+  for (uint8_t t = 0;
+       t <= static_cast<uint8_t>(TatpTxnType::kDeleteCallForwarding); ++t) {
+    TatpTxnType type = static_cast<TatpTxnType>(t);
+    uint32_t id = db.RegisterProcedure(
+        TatpProcedureName(type),
+        [tatp, type](Database& d, const uint8_t* arg, size_t arg_len,
+                     std::vector<uint8_t>*) {
+          uint64_t seed = 0;
+          IsolationLevel iso;
+          if (!ParseTatpArg(arg, arg_len, &seed, &iso)) {
+            return Status::InvalidArgument();
+          }
+          Random rng(seed);
+          return RunTatpTxn(d, tatp, rng, type, iso);
+        });
+    if (t == 0) first = id;
+  }
+  db.RegisterProcedure(
+      "tatp.mixed",
+      [tatp](Database& d, const uint8_t* arg, size_t arg_len,
+             std::vector<uint8_t>*) {
+        uint64_t seed = 0;
+        IsolationLevel iso;
+        if (!ParseTatpArg(arg, arg_len, &seed, &iso)) {
+          return Status::InvalidArgument();
+        }
+        Random rng(seed);
+        return RunTatpTxn(d, tatp, rng, PickTxnType(rng), iso);
+      });
+  return first;
 }
 
 }  // namespace tatp

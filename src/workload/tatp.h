@@ -89,8 +89,22 @@ struct TatpDatabase {
 
 /// Create tables + indexes and load `subscribers` subscribers with the
 /// spec's population rules (1-4 access-info rows, 1-4 special facilities,
-/// 0-3 call-forwarding rows each).
+/// 0-3 call-forwarding rows each). Equivalent to CreateTatpTables +
+/// PopulateTatp.
 TatpDatabase LoadTatp(Database& db, uint64_t subscribers, uint64_t seed = 42);
+
+/// Schema only: create the four tables + indexes, load nothing. This is
+/// the half that belongs in Database::Open's define_schema callback —
+/// schema is code and cannot live in the log, but data committed inside
+/// define_schema WOULD be logged and then double-applied by the replay
+/// that follows. Recover-then-continue servers (tools/mvserver_main.cc)
+/// create tables here and call PopulateTatp only when the recovered
+/// database turns out to be empty.
+TatpDatabase CreateTatpTables(Database& db, uint64_t subscribers);
+
+/// Load the spec's population into already-created tables (committed
+/// through the normal path, so it is logged and recoverable).
+void PopulateTatp(Database& db, const TatpDatabase& tatp, uint64_t seed = 42);
 
 /// Transaction types, with the spec's mix percentages.
 enum class TatpTxnType : uint8_t {
@@ -120,6 +134,21 @@ Status RunTatpTxn(Database& db, const TatpDatabase& tatp, Random& rng,
 /// existing subscriber, every call-forwarding row to an existing special
 /// facility. Returns true if consistent.
 bool CheckConsistency(Database& db, const TatpDatabase& tatp);
+
+/// Register the seven TATP transactions as whole-txn procedures on the
+/// database ("tatp.get_subscriber_data", ..., names below), plus
+/// "tatp.mixed" which draws the type from the spec's mix. One server round
+/// trip to any of them begins, runs, and commits a full transaction
+/// server-side. Argument frame (little-endian): seed (8B) | isolation (1B,
+/// IsolationLevel; anything else = ReadCommitted); all row/parameter
+/// randomness derives from the seed, so a client stream with distinct seeds
+/// reproduces the paper's independent worker streams. Returns the id of the
+/// first registered procedure; the ids are consecutive in TatpTxnType
+/// order with "tatp.mixed" last.
+uint32_t RegisterTatpProcedures(Database& db, const TatpDatabase& tatp);
+
+/// Procedure name for a TATP transaction type ("tatp.update_location", ...).
+const char* TatpProcedureName(TatpTxnType type);
 
 }  // namespace tatp
 }  // namespace mvstore

@@ -33,6 +33,15 @@ TEST(StatusTest, AlreadyExists) {
   EXPECT_EQ(s.ToString(), "AlreadyExists");
 }
 
+TEST(StatusTest, Unavailable) {
+  Status s = Status::Unavailable();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_EQ(s.abort_reason(), AbortReason::kNone);
+  EXPECT_EQ(s.ToString(), "Unavailable");
+}
+
 TEST(StatusTest, Equality) {
   EXPECT_EQ(Status::OK(), Status::OK());
   EXPECT_EQ(Status::Aborted(AbortReason::kPhantom),

@@ -1,0 +1,197 @@
+// mvclient: command-line client for mvserver.
+//
+//   mvclient [--host H] [--port P] <command> [args]
+//
+// Commands:
+//   ping                      round-trip liveness check
+//   stats                     print server + engine counters
+//   resolve NAME              print a registered procedure's id
+//   call NAME [SEED] [ISO]    invoke a whole-txn procedure (e.g. tatp.mixed)
+//                             with the standard seed|isolation argument
+//   get TABLE INDEX KEY       read one row inside a read-only transaction,
+//                             print it as hex
+//   bench NAME COUNT [DEPTH]  pipelined procedure-call throughput: COUNT
+//                             calls at DEPTH frames per batch
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "client/tcp_transport.h"
+#include "common/timing.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mvclient [--host H] [--port P] "
+               "ping|stats|resolve|call|get|bench ...\n");
+  return 1;
+}
+
+/// First non-flag argv position (flags are all --name value).
+int CommandIndex(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    return i;
+  }
+  return -1;
+}
+
+std::vector<uint8_t> ProcArg(uint64_t seed, uint8_t iso) {
+  std::vector<uint8_t> arg(9);
+  std::memcpy(arg.data(), &seed, 8);
+  arg[8] = iso;
+  return arg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvstore;
+
+  const char* host_flag = FlagValue(argc, argv, "--host");
+  const char* port_flag = FlagValue(argc, argv, "--port");
+  std::string host = host_flag != nullptr ? host_flag : "127.0.0.1";
+  uint16_t port = static_cast<uint16_t>(
+      port_flag != nullptr ? std::strtoul(port_flag, nullptr, 10) : 7711);
+
+  int cmd_at = CommandIndex(argc, argv);
+  if (cmd_at < 0) return Usage();
+  std::string cmd = argv[cmd_at];
+  auto arg_at = [&](int k) -> const char* {
+    return cmd_at + k < argc ? argv[cmd_at + k] : nullptr;
+  };
+
+  TcpTransport transport(host, port);
+  Status status;
+  auto conn = transport.Connect(&status);
+  if (conn == nullptr) {
+    std::fprintf(stderr, "mvclient: cannot connect to %s:%u: %s\n",
+                 host.c_str(), port, status.ToString().c_str());
+    return 1;
+  }
+  MVClient client(std::move(conn));
+
+  if (cmd == "ping") {
+    Status s = client.Ping();
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+
+  if (cmd == "stats") {
+    std::string text;
+    Status s = client.Stats(&text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "mvclient: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "resolve" || cmd == "call" || cmd == "bench") {
+    const char* name = arg_at(1);
+    if (name == nullptr) return Usage();
+    uint32_t proc_id = 0;
+    Status s = client.Resolve(name, &proc_id);
+    if (!s.ok()) {
+      std::fprintf(stderr, "mvclient: resolve '%s': %s\n", name,
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (cmd == "resolve") {
+      std::printf("%u\n", proc_id);
+      return 0;
+    }
+    if (cmd == "call") {
+      uint64_t seed = arg_at(2) != nullptr
+                          ? std::strtoull(arg_at(2), nullptr, 10)
+                          : 42;
+      uint8_t iso = static_cast<uint8_t>(
+          arg_at(3) != nullptr ? std::strtoul(arg_at(3), nullptr, 10) : 0);
+      std::vector<uint8_t> arg = ProcArg(seed, iso);
+      std::vector<uint8_t> result;
+      s = client.Call(proc_id, arg.data(), arg.size(), &result);
+      std::printf("%s\n", s.ToString().c_str());
+      return s.ok() || s.IsAborted() ? 0 : 1;
+    }
+    // bench NAME COUNT [DEPTH]
+    uint64_t count = arg_at(2) != nullptr
+                         ? std::strtoull(arg_at(2), nullptr, 10)
+                         : 10000;
+    uint32_t depth = static_cast<uint32_t>(
+        arg_at(3) != nullptr ? std::strtoul(arg_at(3), nullptr, 10) : 16);
+    if (depth == 0) depth = 1;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    Timer timer;
+    for (uint64_t done = 0; done < count;) {
+      uint32_t batch = static_cast<uint32_t>(
+          count - done < depth ? count - done : depth);
+      for (uint32_t i = 0; i < batch; ++i) {
+        std::vector<uint8_t> arg = ProcArg(done + i, 0);
+        client.QueueCall(proc_id, arg.data(), arg.size());
+      }
+      std::vector<WireResult> results;
+      if (!client.FlushBatch(&results).ok()) {
+        std::fprintf(stderr, "mvclient: connection lost mid-bench\n");
+        return 1;
+      }
+      for (const WireResult& r : results) {
+        if (r.status.ok()) {
+          ++committed;
+        } else {
+          ++aborted;
+        }
+      }
+      done += batch;
+    }
+    double seconds = timer.ElapsedSeconds();
+    std::printf("%llu calls in %.3fs = %.0f tps (%llu aborted/refused)\n",
+                static_cast<unsigned long long>(committed + aborted), seconds,
+                (committed + aborted) / seconds,
+                static_cast<unsigned long long>(aborted));
+    return 0;
+  }
+
+  if (cmd == "get") {
+    if (arg_at(3) == nullptr) return Usage();
+    TableId table = static_cast<TableId>(std::strtoul(arg_at(1), nullptr, 10));
+    IndexId index = static_cast<IndexId>(std::strtoul(arg_at(2), nullptr, 10));
+    uint64_t key = std::strtoull(arg_at(3), nullptr, 10);
+    Status s = client.Begin(IsolationLevel::kReadCommitted, /*read_only=*/true);
+    if (!s.ok()) {
+      std::fprintf(stderr, "mvclient: begin: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::vector<uint8_t> row;
+    s = client.Get(table, index, key, &row);
+    client.Commit();
+    if (s.IsNotFound()) {
+      std::printf("NotFound\n");
+      return 0;
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "mvclient: get: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (uint8_t byte : row) std::printf("%02x", byte);
+    std::printf("\n");
+    return 0;
+  }
+
+  return Usage();
+}
