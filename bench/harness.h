@@ -180,6 +180,12 @@ inline DatabaseOptions MakeOptions(Scheme scheme) {
   DatabaseOptions opts;
   opts.scheme = scheme;
   opts.log_mode = LogMode::kAsync;  // paper: asynchronous group commit
+  // A real group window. At 0 every commit buys the flusher a wakeup and
+  // the box a context switch -- per-commit flushing, not group commit; a
+  // window two orders of magnitude above the per-record cost batches
+  // hundreds of commits per flush and roughly doubles single-thread MV
+  // throughput on a small box.
+  opts.group_commit_us = 100;
   return opts;
 }
 
@@ -191,10 +197,12 @@ inline std::string BenchSlug(const char* argv0) {
   return slash == std::string::npos ? s : s.substr(slash + 1);
 }
 
-/// MakeOptions honoring the common command-line axes (currently `--slab`).
+/// MakeOptions honoring the common command-line axes (`--slab`, `--group`).
 inline DatabaseOptions MakeOptions(Scheme scheme, const Flags& flags) {
   DatabaseOptions opts = MakeOptions(scheme);
   opts.use_slab_allocator = flags.GetUint("slab", 1) != 0;
+  opts.group_commit_us =
+      static_cast<uint32_t>(flags.GetUint("group", opts.group_commit_us));
   return opts;
 }
 

@@ -39,12 +39,18 @@ for ((rep = 0; rep < REPEATS; ++rep)) do
   run "alloc.${rep}"     "${BUILD_DIR}/alloc_bench"
   run "fig5_slab.${rep}" "${BUILD_DIR}/fig5_scalability_high"
   run "fig5_heap.${rep}" "${BUILD_DIR}/fig5_scalability_high" --slab 0
+  # Coordination cost in isolation (empty Begin/Commit loops), with the
+  # unbatched-timestamp ablation alongside (rows tagged +block1).
+  run "contention.${rep}"   "${BUILD_DIR}/contention_bench"
+  run "contention_b1.${rep}" "${BUILD_DIR}/contention_bench" --block 1
   run "tatp_slab.${rep}" "${BUILD_DIR}/table4_tatp"
   run "tatp_heap.${rep}" "${BUILD_DIR}/table4_tatp" --slab 0
   # Recovery time (log replay records/sec over a replay-thread sweep);
-  # ignores --seconds, sized by RECOVERY_TXNS instead.
+  # ignores --seconds, sized by RECOVERY_TXNS instead. 50K keeps the 12
+  # recoveries (3 schemes x 4 thread counts) proportionate to the rest of
+  # the suite on a small box; rows report a rate, so they stay comparable.
   run "recovery.${rep}"  "${BUILD_DIR}/recovery_bench" \
-      --txns "${RECOVERY_TXNS:-200000}"
+      --txns "${RECOVERY_TXNS:-50000}"
   # Service layer: TATP as pipelined procedure calls, loopback + tcp rows.
   run "server.${rep}"    "${BUILD_DIR}/server_bench" \
       --depth "${SERVER_DEPTH:-8}"

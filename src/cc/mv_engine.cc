@@ -39,7 +39,8 @@ Stat AbortStat(AbortReason reason) {
 
 MVEngine::MVEngine(MVEngineOptions options)
     : options_(options),
-      txn_pool_(options_.use_slab_allocator, &stats_) {
+      txn_pool_(options_.use_slab_allocator, &stats_),
+      ts_gen_(options_.ts_block_size) {
   catalog_.ConfigureMemory(
       Table::MemoryOptions{options_.use_slab_allocator, &stats_, &epoch_});
   LogSink* sink = nullptr;
@@ -116,7 +117,12 @@ Transaction* MVEngine::Begin(IsolationLevel isolation, bool pessimistic,
   // begin timestamp as "could be anything", so no version this transaction
   // might see can be reclaimed in the window before the timestamp is set.
   txn_table_.Insert(txn);
-  txn->begin_ts.store(ts_gen_.Next(), std::memory_order_release);
+  // A begin timestamp is a read of the clock, not a draw from it (Section 6:
+  // drawing is the one critical section every transaction shares, so only
+  // commits pay for it). Current() is at or above every finished commit and
+  // strictly below every end timestamp drawn after it, which is exactly
+  // what a snapshot needs.
+  txn->begin_ts.store(ts_gen_.Current(), std::memory_order_release);
   return txn;
 }
 
@@ -442,9 +448,11 @@ Status MVEngine::TakeBucketLockDependencies(Transaction* txn,
 
 Version* MVEngine::FindVisible(Transaction* txn, Table& table, IndexId index_id,
                                uint64_t key, Timestamp read_time,
-                               const Predicate& residual, Status* status) {
+                               const Predicate& residual, Status* status,
+                               bool for_update) {
   *status = Status::OK();
   VisibilityContext ctx = VisCtx(txn, VisibilityMode::kNormalProcessing);
+  ctx.for_update = for_update;
   Version* found = nullptr;
   bool serializable_pessimistic =
       txn->pessimistic && txn->isolation == IsolationLevel::kSerializable;
@@ -739,8 +747,8 @@ Status MVEngine::Update(Transaction* txn, TableId table_id, IndexId index_id,
   EpochGuard guard(epoch_);
 
   Status status;
-  Version* v =
-      FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr, &status);
+  Version* v = FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr,
+                           &status, /*for_update=*/true);
   if (!status.ok()) return DoAbort(txn, status.abort_reason());
   if (v == nullptr) return Status::NotFound();
 
@@ -781,8 +789,8 @@ Status MVEngine::Delete(Transaction* txn, TableId table_id, IndexId index_id,
   EpochGuard guard(epoch_);
 
   Status status;
-  Version* v =
-      FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr, &status);
+  Version* v = FindVisible(txn, table, index_id, key, ReadTime(txn), nullptr,
+                           &status, /*for_update=*/true);
   if (!status.ok()) return DoAbort(txn, status.abort_reason());
   if (v == nullptr) return Status::NotFound();
 

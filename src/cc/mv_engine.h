@@ -60,6 +60,11 @@ struct MVEngineOptions {
   /// Deadlock-detector pass interval; 0 disables the thread.
   uint32_t deadlock_interval_us = 1000;
 
+  /// End timestamps are carved off the shared counter in per-thread blocks
+  /// of this size (txn/timestamp.h); 1 = unbatched (every commit touches
+  /// the shared cacheline, the pre-Section-6 behavior).
+  uint32_t ts_block_size = TimestampGenerator::kDefaultBlockSize;
+
   /// Recycle version slots through per-table slabs and transaction objects
   /// through a pool (mem/). Off = every version/transaction is a global
   /// heap allocation -- slower, but gives ASan-style tooling full lifetime
@@ -173,10 +178,12 @@ class MVEngine {
   VisibilityContext VisCtx(Transaction* txn, VisibilityMode mode);
 
   /// Find the first visible version for key on any index kind; nullptr if
-  /// none. On conflict requiring abort, sets `status`.
+  /// none. On conflict requiring abort, sets `status`. `for_update` marks
+  /// probes that feed an update/delete (see VisibilityContext::for_update).
   Version* FindVisible(Transaction* txn, Table& table, IndexId index_id,
                        uint64_t key, Timestamp read_time,
-                       const Predicate& residual, Status* status);
+                       const Predicate& residual, Status* status,
+                       bool for_update = false);
 
   /// MV/L: acquire a read lock on a latest version (Section 4.2.1).
   /// Returns OK and sets *locked, or an abort status.

@@ -82,6 +82,22 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
       continue;  // begin field is finalized; reread
     }
 
+    if (tb_state == TxnState::kPreparing && !ctx.for_update &&
+        ctx.mode == VisibilityMode::kNormalProcessing &&
+        self->isolation == IsolationLevel::kReadCommitted) {
+      // Read Committed fast path: no snapshot is promised, so an
+      // uncommitted Preparing creator is handled exactly like an Active
+      // one -- the version is simply not committed yet and the scan falls
+      // through to the latest committed version below it. This sidesteps
+      // the commit dependency (and its futex round trip at commit) that a
+      // speculative read would cost; under an oversubscribed box a
+      // descheduled Preparing writer otherwise strands a growing crowd of
+      // dependents. Snapshot-based levels still speculate: for them the
+      // version IS visible at their read time if TB commits, so skipping
+      // it would serve a stale snapshot, not a different-but-legal one.
+      return result;
+    }
+
     // State is Preparing or Committed. Preparing is published before the
     // end timestamp is drawn (see MVEngine::Commit), so spin out the
     // two-store window if we caught it; by Committed the value is long set.
@@ -175,6 +191,14 @@ VisibilityResult CheckVisibility(const VisibilityContext& ctx, Version* v,
         return result;
       }
       case TxnState::kPreparing: {
+        if (!ctx.for_update && ctx.mode == VisibilityMode::kNormalProcessing &&
+            self->isolation == IsolationLevel::kReadCommitted) {
+          // Read Committed fast path, mirror of the Begin-field case: TE
+          // has not committed, so V is still the latest committed version.
+          // No dependency, no end-timestamp await.
+          result.visible = true;
+          return result;
+        }
         // Spin out the Preparing-before-timestamp window (see
         // MVEngine::Commit precommit ordering).
         Timestamp ts = AwaitEndTimestamp(te);

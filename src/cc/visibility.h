@@ -6,8 +6,14 @@
 // dependencies instead of blocking (Section 2.7).
 //
 // Two modes:
-//  * kNormalProcessing  - speculation allowed, exactly as in the paper;
-//    a transaction never blocks during normal processing.
+//  * kNormalProcessing  - speculation allowed, exactly as in the paper --
+//    with one deliberate deviation: Read Committed readers never speculate.
+//    RC promises no snapshot, so a Preparing transaction is treated like an
+//    Active one (its versions not yet committed; the previous version is
+//    still the latest committed state). The paper's Tables 1/2 would take a
+//    commit dependency here; declining it keeps the RC hot path free of
+//    dependency futex round trips. Snapshot-based levels speculate as
+//    written. A transaction never blocks during normal processing.
 //  * kValidation        - used while re-checking reads/scans at the end of
 //    an optimistic transaction. Speculative *reads* are not allowed
 //    (Section 3.2: commit dependencies may be acquired during validation
@@ -46,6 +52,12 @@ struct VisibilityContext {
   TxnTable* txn_table = nullptr;
   StatsCollector* stats = nullptr;
   VisibilityMode mode = VisibilityMode::kNormalProcessing;
+  /// The probe feeds an update/delete of the found version. Read Committed
+  /// then speculates like every other level (the paper's speculative
+  /// update): declining would surface the previous version, whose write
+  /// lock is still held by the Preparing transaction -- a guaranteed
+  /// first-writer-wins abort where a commit dependency would have chained.
+  bool for_update = false;
 };
 
 /// Test whether `v` is visible to `ctx.self` as of `read_time`.

@@ -19,6 +19,22 @@ inline constexpr std::size_t kCacheLineSize = 64;
 #define MVSTORE_UNLIKELY(x) (x)
 #endif
 
+/// True in ThreadSanitizer builds. Slab recycling is invisible to TSan's
+/// happens-before machinery the same way it is to ASan's quarantine, so
+/// sanitizer builds default DatabaseOptions::use_slab_allocator off (tests
+/// that exercise the slabs on purpose still opt back in).
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsanBuild = true;
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+
 /// CPU pause hint for spin loops.
 inline void CpuRelax() {
 #if defined(__x86_64__) || defined(__i386__)

@@ -2,14 +2,22 @@
 #pragma once
 
 #include <atomic>
+#include <thread>
 
 #include "common/port.h"
 
 namespace mvstore {
 
-/// A one-byte spin latch. Use only around critical sections of a few dozen
-/// instructions (list splices, counter pairs); anything longer should use a
-/// real mutex. Not recursive.
+/// A one-word spin latch with a futex fallback. Use only around critical
+/// sections of a few dozen instructions (list splices, counter pairs);
+/// anything longer should use a real mutex. Not recursive.
+///
+/// States: 0 = free, 1 = held, 2 = held with (possible) sleepers. Waiters
+/// spin briefly, then mark the latch contended and sleep; Unlock pays a
+/// wake syscall only when that mark is set, so the uncontended path is one
+/// CAS in and one exchange out. Sleeping (rather than yield-looping)
+/// matters when holder and waiter share a core: a descheduled holder gets
+/// the CPU back immediately instead of after the waiter's burned quantum.
 class SpinLatch {
  public:
   SpinLatch() = default;
@@ -17,18 +25,53 @@ class SpinLatch {
   SpinLatch& operator=(const SpinLatch&) = delete;
 
   void Lock() {
-    while (true) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
-      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+    uint32_t expected = 0;
+    if (state_.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    LockSlow();
+  }
+
+  bool TryLock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void Unlock() {
+    if (state_.exchange(0, std::memory_order_release) == 2) {
+      state_.notify_one();
     }
   }
 
-  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
-
-  void Unlock() { flag_.store(false, std::memory_order_release); }
-
  private:
-  std::atomic<bool> flag_{false};
+  void LockSlow() {
+    for (uint32_t spins = 0; spins < kSpinLimit; ++spins) {
+      uint32_t s = state_.load(std::memory_order_relaxed);
+      if (s == 0 && state_.compare_exchange_weak(s, 1,
+                                                 std::memory_order_acquire,
+                                                 std::memory_order_relaxed)) {
+        return;
+      }
+      CpuRelax();
+    }
+    // Sleep phase. From here on, acquire only via exchange(2): once any
+    // thread may be sleeping, the latch must stay marked contended until a
+    // wake finds it free -- re-acquiring with a bare 1 would let the next
+    // Unlock skip the notify and strand a sleeper. (Acquiring may therefore
+    // over-mark a latch with no remaining waiters; the extra wake that
+    // causes is harmless.)
+    while (state_.exchange(2, std::memory_order_acquire) != 0) {
+      state_.wait(2, std::memory_order_relaxed);
+    }
+  }
+
+  static constexpr uint32_t kSpinLimit = 64;
+
+  std::atomic<uint32_t> state_{0};
 };
 
 /// RAII guard for SpinLatch.

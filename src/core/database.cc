@@ -26,6 +26,7 @@ Database::Database(DatabaseOptions options)
     mv.group_commit_us = options_.group_commit_us;
     mv.gc_interval_us = options_.gc_interval_us;
     mv.deadlock_interval_us = options_.deadlock_interval_us;
+    mv.ts_block_size = options_.ts_block_size;
     mv.use_slab_allocator = options_.use_slab_allocator;
     mv_ = std::make_unique<MVEngine>(mv);
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cc/mv_engine.h"
+#include "common/port.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "mem/object_pool.h"
@@ -77,6 +78,8 @@ struct DatabaseOptions {
   bool honor_locks = true;
   uint32_t gc_interval_us = 2000;
   uint32_t deadlock_interval_us = 1000;
+  /// Per-thread end-timestamp block size (txn/timestamp.h); 1 = unbatched.
+  uint32_t ts_block_size = 16;
 
   /// 1V engine: lock-wait timeout (deadlock breaking).
   uint64_t lock_timeout_us = 2000;
@@ -84,8 +87,10 @@ struct DatabaseOptions {
   /// Memory subsystem (src/mem/): recycle version slots through per-table
   /// slab allocators and transaction objects through pools, integrated with
   /// epoch reclamation. Default on; turn off to route every allocation
-  /// through the global heap (ASan-style debugging, leak triage).
-  bool use_slab_allocator = true;
+  /// through the global heap (ASan-style debugging, leak triage). TSan
+  /// builds default off (common/port.h) -- recycling hides object lifetimes
+  /// from the race detector; tests that target the slabs opt back in.
+  bool use_slab_allocator = !kTsanBuild;
 };
 
 /// Opaque transaction handle; owned by the Database between Begin and

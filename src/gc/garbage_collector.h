@@ -73,19 +73,12 @@ class GarbageCollector {
   /// unreachable by every present and future reader.
   Timestamp Watermark(Timestamp now) { return txn_table_.MinActiveBeginTs(now); }
 
-  /// Watermark refreshed at most every ~200us. Computing the exact value
-  /// scans the whole transaction table; per-commit cooperative GC must not
-  /// pay that. A stale (smaller) watermark is always safe -- it only delays
-  /// reclamation.
+  /// Watermark refreshed at most every ~200us, and monotone. Computing the
+  /// exact value scans the whole transaction table; per-commit cooperative
+  /// GC must not pay that. The table owns the cache so every consumer sees
+  /// one consistent, never-regressing value.
   Timestamp CachedWatermark(Timestamp now) {
-    uint64_t t = NowMicros();
-    uint64_t last = watermark_refreshed_us_.load(std::memory_order_relaxed);
-    if (t - last > 200 &&
-        watermark_refreshed_us_.compare_exchange_strong(
-            last, t, std::memory_order_relaxed)) {
-      cached_watermark_.store(Watermark(now), std::memory_order_release);
-    }
-    return cached_watermark_.load(std::memory_order_acquire);
+    return txn_table_.CachedMinActiveBeginTs(now);
   }
 
   /// Set the clock used for the watermark fallback (no active txns).
@@ -121,8 +114,6 @@ class GarbageCollector {
   std::atomic<uint32_t> enqueue_cursor_{0};
   std::atomic<uint32_t> drain_cursor_{0};
   std::atomic<uint64_t> pending_{0};
-  std::atomic<Timestamp> cached_watermark_{0};
-  std::atomic<uint64_t> watermark_refreshed_us_{0};
 
   Timestamp (*now_fn_)(void*) = nullptr;
   void* now_arg_ = nullptr;

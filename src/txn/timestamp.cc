@@ -1,0 +1,122 @@
+#include "txn/timestamp.h"
+
+#include "util/tls_slots.h"
+
+namespace mvstore {
+namespace {
+
+struct TimestampSlotTag {};
+using TsSlotCache = TlsSlotCache<TimestampSlotTag>;
+
+constexpr uint32_t kNoSlot = ~uint32_t{0};
+
+std::atomic<uint64_t> next_txn_id_instance{1};
+
+}  // namespace
+
+TimestampGenerator::TimestampGenerator(uint32_t block_size)
+    : block_size_(block_size == 0 ? 1 : block_size),
+      registry_id_(tls_slots::RegisterOwner(this, &ReleaseSlotTrampoline)),
+      slots_(kMaxSlots) {}
+
+TimestampGenerator::~TimestampGenerator() {
+  // First, before any member dies: no thread-exit callback may touch a
+  // half-destroyed generator.
+  tls_slots::UnregisterOwner(registry_id_);
+}
+
+TimestampGenerator::Slot* TimestampGenerator::MySlot() {
+  uint32_t index = TsSlotCache::Lookup(registry_id_);
+  if (index != TsSlotCache::kNone) return &slots_[index];
+  return AcquireSlot();
+}
+
+TimestampGenerator::Slot* TimestampGenerator::AcquireSlot() {
+  uint32_t index = kNoSlot;
+  {
+    SpinLatchGuard guard(freelist_latch_);
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      uint32_t high_water = used_slots_.load(std::memory_order_relaxed);
+      if (high_water < kMaxSlots) {
+        index = high_water;
+        used_slots_.store(high_water + 1, std::memory_order_release);
+      }
+    }
+  }
+  if (index == kNoSlot) return nullptr;  // > kMaxSlots concurrent threads
+  if (!TsSlotCache::Store(registry_id_, index)) {
+    // Thread is tearing down: nothing left to release the slot later.
+    ReleaseSlotIndex(index);
+    return nullptr;
+  }
+  return &slots_[index];
+}
+
+void TimestampGenerator::ReleaseSlotTrampoline(void* owner, uint32_t slot) {
+  static_cast<TimestampGenerator*>(owner)->ReleaseSlotIndex(slot);
+}
+
+void TimestampGenerator::ReleaseSlotIndex(uint32_t index) {
+  // The partially drawn block stays in the slot: the next owner continues
+  // it (uniqueness holds -- the freelist hands a slot to one thread at a
+  // time, and the latch orders the handoff).
+  SpinLatchGuard guard(freelist_latch_);
+  free_slots_.push_back(index);
+}
+
+void TimestampGenerator::PublishDrawn(uint64_t ts) {
+  // Skip-if-lower CAS-max: only draws above every prior draw write the
+  // shared line, i.e. in steady state only the holder of the highest block.
+  uint64_t ceiling = ceiling_.load(std::memory_order_seq_cst);
+  while (ceiling < ts && !ceiling_.compare_exchange_weak(
+                             ceiling, ts, std::memory_order_seq_cst)) {
+  }
+}
+
+Timestamp TimestampGenerator::Next() {
+  Slot* slot = MySlot();
+  if (slot == nullptr) {
+    // Slotless draw (thread teardown or slot exhaustion): a one-timestamp
+    // block, degenerating to the unbatched fetch_add.
+    uint64_t t = alloc_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    PublishDrawn(t);
+    return t;
+  }
+  // The ceiling guard (snapshot safety; see the header comment): a value at
+  // or below an already observed begin timestamp must never be drawn, so a
+  // block that fell behind the ceiling is abandoned. Fresh blocks start
+  // above alloc_ >= ceiling_. Ordering matters: the ceiling load comes
+  // after the caller's Preparing store (both seq_cst), which is what pins
+  // T > B for every reader that still saw the caller as Active.
+  if (slot->next > slot->limit ||
+      slot->next <= ceiling_.load(std::memory_order_seq_cst)) {
+    uint64_t base = alloc_.fetch_add(block_size_, std::memory_order_seq_cst);
+    slot->next = base + 1;
+    slot->limit = base + block_size_;
+  }
+  uint64_t t = slot->next++;
+  PublishDrawn(t);
+  return t;
+}
+
+void TimestampGenerator::AdvanceTo(Timestamp floor) {
+  // Raise the cursor first so no block carved after this call starts below
+  // `floor`, then the ceiling so Current() reflects it; stale outstanding
+  // blocks retire themselves against the ceiling guard on their next draw.
+  uint64_t current = alloc_.load(std::memory_order_seq_cst);
+  while (current < floor &&
+         !alloc_.compare_exchange_weak(current, floor,
+                                       std::memory_order_seq_cst)) {
+  }
+  PublishDrawn(floor);
+}
+
+TxnIdGenerator::TxnIdGenerator(uint64_t start_raw)
+    : counter_(start_raw),
+      instance_id_(
+          next_txn_id_instance.fetch_add(1, std::memory_order_relaxed)) {}
+
+}  // namespace mvstore

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/spin_latch.h"
@@ -270,8 +271,16 @@ class Transaction {
 /// descheduled.
 inline Timestamp AwaitEndTimestamp(const Transaction* txn) {
   Timestamp ts = txn->end_ts.load(std::memory_order_acquire);
+  uint32_t spins = 0;
   while (ts == 0) {
-    CpuRelax();
+    // Yield once the writer looks descheduled: with more threads than
+    // cores, spinning here is what keeps it descheduled.
+    if (++spins < 64) {
+      CpuRelax();
+    } else {
+      spins = 0;
+      std::this_thread::yield();
+    }
     ts = txn->end_ts.load(std::memory_order_acquire);
   }
   return ts;

@@ -16,6 +16,8 @@
 
 #include "common/port.h"
 #include "common/spin_latch.h"
+#include "common/timing.h"
+#include "txn/timestamp.h"
 #include "txn/transaction.h"
 #include "util/bits.h"
 
@@ -87,6 +89,32 @@ class TxnTable {
     return min_ts;
   }
 
+  /// Rate-limited, *monotone* watermark: refreshed from MinActiveBeginTs at
+  /// most every ~200us, and never allowed to regress. Regression would be
+  /// safe (it only delays reclamation) but real: a transaction caught inside
+  /// the Begin() window publishes begin_ts 0 and would yank a cached
+  /// watermark of millions back to zero for the next 200us, stalling every
+  /// cooperative GC pass. The max-guard is sound because a transaction that
+  /// begins after a refresh observed watermark W gets begin_ts >= the clock
+  /// at that refresh >= W, so versions dead before W stay invisible to it.
+  /// `now` (the no-active-transactions fallback) must be monotone; callers
+  /// pass the commit clock.
+  Timestamp CachedMinActiveBeginTs(Timestamp now) {
+    uint64_t t = NowMicros();
+    uint64_t last = watermark_refreshed_us_.load(std::memory_order_relaxed);
+    if (t - last > kWatermarkRefreshUs &&
+        watermark_refreshed_us_.compare_exchange_strong(
+            last, t, std::memory_order_relaxed)) {
+      Timestamp exact = MinActiveBeginTs(now);
+      Timestamp cached = cached_min_begin_.load(std::memory_order_relaxed);
+      while (cached < exact &&
+             !cached_min_begin_.compare_exchange_weak(
+                 cached, exact, std::memory_order_release)) {
+      }
+    }
+    return cached_min_begin_.load(std::memory_order_acquire);
+  }
+
   uint64_t Size() const {
     uint64_t n = 0;
     for (auto& p : partitions_) {
@@ -102,11 +130,20 @@ class TxnTable {
     std::unordered_map<TxnId, Transaction*> map;
   };
 
+  /// Block-affine partitioning: transaction IDs are drawn in per-thread
+  /// blocks of TxnIdGenerator::kBlockSize, so mapping each block to one
+  /// partition keeps a thread's Insert/Remove traffic on a partition no
+  /// other thread is currently hammering. Lookups of *other* transactions'
+  /// IDs (visibility checks) still spread across partitions as blocks do.
   Partition& PartitionFor(TxnId id) {
-    return partitions_[HashInt64(id) % kPartitions];
+    return partitions_[(id - 1) / TxnIdGenerator::kBlockSize % kPartitions];
   }
 
+  static constexpr uint64_t kWatermarkRefreshUs = 200;
+
   mutable std::array<Partition, kPartitions> partitions_;
+  std::atomic<uint64_t> watermark_refreshed_us_{0};
+  std::atomic<Timestamp> cached_min_begin_{0};
 };
 
 }  // namespace mvstore

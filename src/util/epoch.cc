@@ -1,47 +1,123 @@
 #include "util/epoch.h"
 
 #include <cassert>
-#include <unordered_map>
+
+#include "util/tls_slots.h"
 
 namespace mvstore {
-
 namespace {
-std::atomic<uint64_t> next_instance_id{1};
+
+struct EpochSlotTag {};
+using EpochSlotCache = TlsSlotCache<EpochSlotTag>;
+
+constexpr uint32_t kNoSlot = ~uint32_t{0};
+
 }  // namespace
 
 EpochManager::EpochManager()
-    : instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+    : registry_id_(tls_slots::RegisterOwner(this, &ReleaseSlotTrampoline)),
       slots_(kMaxThreads) {}
 
-EpochManager::~EpochManager() { DrainAll(); }
+EpochManager::~EpochManager() {
+  // First, before any member dies: no thread-exit callback may touch a
+  // half-destroyed manager.
+  tls_slots::UnregisterOwner(registry_id_);
+  DrainAll();
+}
 
-uint32_t EpochManager::SlotIndex() {
-  // Each (thread, manager) pair needs its own slot. The cache is keyed by
-  // the manager's instance id (not its address: a new manager can be
-  // allocated where a destroyed one lived, and must not inherit its slot).
-  thread_local std::unordered_map<uint64_t, uint32_t> cache;
-  auto it = cache.find(instance_id_);
-  if (it != cache.end()) return it->second;
-  uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
-  assert(slot < kMaxThreads && "too many threads for EpochManager");
-  cache.emplace(instance_id_, slot);
-  return slot;
+EpochManager::ThreadSlot* EpochManager::MySlot() {
+  uint32_t index = EpochSlotCache::Lookup(registry_id_);
+  if (index != EpochSlotCache::kNone) return &slots_[index];
+  return AcquireSlot();
+}
+
+EpochManager::ThreadSlot* EpochManager::AcquireSlot() {
+  uint32_t index = kNoSlot;
+  {
+    SpinLatchGuard guard(freelist_latch_);
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      uint32_t high_water = used_slots_.load(std::memory_order_relaxed);
+      if (high_water < kMaxThreads) {
+        index = high_water;
+        used_slots_.store(high_water + 1, std::memory_order_release);
+      }
+    }
+  }
+  if (index == kNoSlot) return nullptr;  // > kMaxThreads concurrent threads
+  if (!EpochSlotCache::Store(registry_id_, index)) {
+    // Thread is tearing down: nothing left to release the slot later.
+    ReleaseSlot(index);
+    return nullptr;
+  }
+  return &slots_[index];
+}
+
+void EpochManager::ReleaseSlotTrampoline(void* owner, uint32_t slot) {
+  static_cast<EpochManager*>(owner)->ReleaseSlot(slot);
+}
+
+void EpochManager::ReleaseSlot(uint32_t index) {
+  ThreadSlot& slot = slots_[index];
+  assert(slot.nesting.load(std::memory_order_relaxed) == 0 &&
+         "thread exited inside an EpochGuard");
+  // Splice leftovers onto the orphan list so the slot starts empty for its
+  // next owner; their epochs still gate their reclamation.
+  std::deque<Retired> leftover;
+  {
+    SpinLatchGuard guard(slot.latch);
+    leftover.swap(slot.retired);
+  }
+  if (!leftover.empty()) {
+    uint64_t moved = leftover.size();
+    {
+      SpinLatchGuard guard(orphans_latch_);
+      for (const Retired& r : leftover) orphans_.push_back(r);
+    }
+    orphan_pending_.fetch_add(moved, std::memory_order_relaxed);
+    slot.pending.fetch_sub(moved, std::memory_order_relaxed);
+  }
+  slot.retire_ticker = 0;
+  slot.nesting.store(0, std::memory_order_relaxed);
+  slot.epoch.store(kIdle, std::memory_order_seq_cst);
+  SpinLatchGuard guard(freelist_latch_);
+  free_slots_.push_back(index);
 }
 
 void EpochManager::Enter() {
-  ThreadSlot& slot = slots_[SlotIndex()];
-  uint32_t nesting = slot.nesting.load(std::memory_order_relaxed);
+  ThreadSlot* slot = MySlot();
+  if (slot == nullptr) {
+    // Slotless guard (thread teardown or slot exhaustion): a shared count
+    // plus a conservative epoch floor. The floor only ever moves down while
+    // in use -- too conservative is safe, too fresh is not.
+    slotless_guards_.fetch_add(1, std::memory_order_seq_cst);
+    uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    uint64_t floor = slotless_floor_.load(std::memory_order_seq_cst);
+    while ((floor == kIdle || epoch < floor) &&
+           !slotless_floor_.compare_exchange_weak(floor, epoch,
+                                                  std::memory_order_seq_cst)) {
+    }
+    return;
+  }
+  uint32_t nesting = slot->nesting.load(std::memory_order_relaxed);
   if (nesting == 0) {
     // seq_cst so the epoch publication is ordered before subsequent loads of
     // shared pointers; pairs with the fence in MinActiveEpoch readers.
-    slot.epoch.store(global_epoch_.load(std::memory_order_acquire),
-                     std::memory_order_seq_cst);
+    slot->epoch.store(global_epoch_.load(std::memory_order_acquire),
+                      std::memory_order_seq_cst);
   }
-  slot.nesting.store(nesting + 1, std::memory_order_relaxed);
+  slot->nesting.store(nesting + 1, std::memory_order_relaxed);
 }
 
 void EpochManager::Exit() {
-  ThreadSlot& slot = slots_[SlotIndex()];
+  uint32_t index = EpochSlotCache::Lookup(registry_id_);
+  if (index == EpochSlotCache::kNone) {
+    slotless_guards_.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
+  ThreadSlot& slot = slots_[index];
   uint32_t nesting = slot.nesting.load(std::memory_order_relaxed);
   assert(nesting > 0);
   slot.nesting.store(nesting - 1, std::memory_order_relaxed);
@@ -50,9 +126,13 @@ void EpochManager::Exit() {
   }
 }
 
-uint64_t EpochManager::MinActiveEpoch() const {
-  uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
-  uint32_t used = next_slot_.load(std::memory_order_acquire);
+uint64_t EpochManager::MinActiveEpoch(uint64_t global) const {
+  uint64_t min_epoch = global;
+  if (slotless_guards_.load(std::memory_order_seq_cst) > 0) {
+    uint64_t floor = slotless_floor_.load(std::memory_order_seq_cst);
+    if (floor != kIdle && floor < min_epoch) min_epoch = floor;
+  }
+  uint32_t used = used_slots_.load(std::memory_order_acquire);
   if (used > kMaxThreads) used = kMaxThreads;
   for (uint32_t i = 0; i < used; ++i) {
     uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
@@ -62,53 +142,126 @@ uint64_t EpochManager::MinActiveEpoch() const {
 }
 
 void EpochManager::Retire(void* object, Deleter deleter, void* arg) {
-  uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  uint64_t tag = global_epoch_.load(std::memory_order_acquire);
+  ThreadSlot* slot = MySlot();
+  if (slot != nullptr) {
+    {
+      SpinLatchGuard guard(slot->latch);
+      slot->retired.push_back(Retired{object, deleter, arg, tag});
+    }
+    slot->pending.fetch_add(1, std::memory_order_release);
+    if (++slot->retire_ticker % kAdvanceInterval == 0) {
+      TryAdvanceAndReclaim();
+    }
+    return;
+  }
   {
-    SpinLatchGuard guard(retired_latch_);
-    retired_.push_back(Retired{object, deleter, arg, epoch});
+    SpinLatchGuard guard(orphans_latch_);
+    orphans_.push_back(Retired{object, deleter, arg, tag});
   }
-  pending_.fetch_add(1, std::memory_order_relaxed);
-  if (retire_ticker_.fetch_add(1, std::memory_order_relaxed) %
-          kAdvanceInterval ==
-      kAdvanceInterval - 1) {
-    TryAdvanceAndReclaim();
-  }
+  orphan_pending_.fetch_add(1, std::memory_order_release);
+  TryAdvanceAndReclaim();
 }
 
 void EpochManager::TryAdvanceAndReclaim() {
-  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  uint64_t min_active = MinActiveEpoch();
+  uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  uint64_t min_active = MinActiveEpoch(epoch);
+  // Advance only when every active reader has caught up to the current
+  // epoch: the shared line is written once per epoch, not once per attempt,
+  // and a straggling reader simply leaves the epoch in place.
+  if (min_active >= epoch &&
+      global_epoch_.compare_exchange_strong(epoch, epoch + 1,
+                                            std::memory_order_seq_cst)) {
+    min_active = MinActiveEpoch(epoch + 1);
+  }
+  ReclaimUpTo(min_active);
+}
 
-  // Pull out everything freeable under the latch, free outside it.
+void EpochManager::ReclaimUpTo(uint64_t min_active) {
+  // One reclaimer at a time; others piggyback on its work and return.
+  if (!reclaim_gate_.TryLock()) return;
   std::vector<Retired> to_free;
-  {
-    SpinLatchGuard guard(retired_latch_);
-    size_t kept = 0;
-    for (size_t i = 0; i < retired_.size(); ++i) {
-      if (retired_[i].epoch < min_active) {
-        to_free.push_back(retired_[i]);
-      } else {
-        retired_[kept++] = retired_[i];
+  uint32_t used = used_slots_.load(std::memory_order_acquire);
+  if (used > kMaxThreads) used = kMaxThreads;
+  for (uint32_t i = 0; i < used; ++i) {
+    ThreadSlot& slot = slots_[i];
+    if (slot.pending.load(std::memory_order_acquire) == 0) continue;
+    uint64_t freed = 0;
+    {
+      SpinLatchGuard guard(slot.latch);
+      // Epoch tags are nondecreasing per queue: pop eligible entries off
+      // the front, O(freed), and never touch the backlog.
+      while (!slot.retired.empty() &&
+             slot.retired.front().epoch < min_active) {
+        to_free.push_back(slot.retired.front());
+        slot.retired.pop_front();
+        ++freed;
       }
     }
-    retired_.resize(kept);
+    if (freed != 0) slot.pending.fetch_sub(freed, std::memory_order_relaxed);
   }
+  if (orphan_pending_.load(std::memory_order_acquire) != 0) {
+    // Orphan entries interleave from many dead threads, so tags are not
+    // ordered; compact the (cold, small) queue exactly.
+    uint64_t freed = 0;
+    {
+      SpinLatchGuard guard(orphans_latch_);
+      size_t kept = 0;
+      for (size_t i = 0; i < orphans_.size(); ++i) {
+        if (orphans_[i].epoch < min_active) {
+          to_free.push_back(orphans_[i]);
+          ++freed;
+        } else {
+          orphans_[kept++] = orphans_[i];
+        }
+      }
+      orphans_.resize(kept);
+    }
+    if (freed != 0) orphan_pending_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+  reclaim_gate_.Unlock();
+  // Deleters run outside every latch: they may re-enter Retire (slab
+  // recycling bumps stats, pools retire containers).
   for (const Retired& r : to_free) r.deleter(r.object, r.arg);
-  pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
 }
 
 void EpochManager::DrainAll() {
+  reclaim_gate_.Lock();
   std::vector<Retired> to_free;
-  {
-    SpinLatchGuard guard(retired_latch_);
-    to_free.swap(retired_);
+  uint32_t used = used_slots_.load(std::memory_order_acquire);
+  if (used > kMaxThreads) used = kMaxThreads;
+  for (uint32_t i = 0; i < used; ++i) {
+    ThreadSlot& slot = slots_[i];
+    uint64_t freed = 0;
+    {
+      SpinLatchGuard guard(slot.latch);
+      while (!slot.retired.empty()) {
+        to_free.push_back(slot.retired.front());
+        slot.retired.pop_front();
+        ++freed;
+      }
+    }
+    if (freed != 0) slot.pending.fetch_sub(freed, std::memory_order_relaxed);
   }
+  {
+    SpinLatchGuard guard(orphans_latch_);
+    uint64_t freed = orphans_.size();
+    for (const Retired& r : orphans_) to_free.push_back(r);
+    orphans_.clear();
+    if (freed != 0) orphan_pending_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+  reclaim_gate_.Unlock();
   for (const Retired& r : to_free) r.deleter(r.object, r.arg);
-  pending_.fetch_sub(to_free.size(), std::memory_order_relaxed);
 }
 
 uint64_t EpochManager::PendingCount() const {
-  return pending_.load(std::memory_order_relaxed);
+  uint64_t total = orphan_pending_.load(std::memory_order_relaxed);
+  uint32_t used = used_slots_.load(std::memory_order_acquire);
+  if (used > kMaxThreads) used = kMaxThreads;
+  for (uint32_t i = 0; i < used; ++i) {
+    total += slots_[i].pending.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace mvstore

@@ -15,6 +15,19 @@
 // The epoch advances cooperatively: every kAdvanceInterval retirements the
 // retiring thread attempts a bump. There is no dedicated epoch thread.
 //
+// Sharding: every piece of cross-thread state lives in the participant's
+// own cacheline-aligned slot -- its published epoch, its retired-object
+// queue, its pending count, its advance ticker. Retiring is a push onto the
+// thread's own queue; because a thread tags retirements with a monotone
+// clock, each queue is epoch-ordered and a reclamation pass pops eligible
+// objects off the front in O(freed), never copying the backlog (the old
+// single-vector design compacted O(pending) every pass, quadratic under
+// watermark lag). The global epoch is advanced by CAS only when every
+// active reader has caught up to it, so the shared line is written once per
+// epoch instead of once per attempt. Slots are recycled on thread exit via
+// the thread-slot registry (util/tls_slots.h); a dying thread's queue is
+// spliced onto an orphan list that reclamation passes also drain.
+//
 // This layer underpins the version garbage collection of Section 2.3
 // (gc/garbage_collector.*): the GC decides *when* a version is invisible to
 // every transaction (timestamp watermark) and unlinks it from the indexes;
@@ -26,6 +39,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -35,8 +49,8 @@
 namespace mvstore {
 
 /// Global epoch manager. One instance per Database. Threads register
-/// implicitly on first use; slots are never recycled (bounded by
-/// kMaxThreads).
+/// implicitly on first use; slots are recycled on thread exit (bounded by
+/// kMaxThreads *concurrent* participants).
 class EpochManager {
  public:
   static constexpr uint32_t kMaxThreads = 512;
@@ -85,6 +99,13 @@ class EpochManager {
     return global_epoch_.load(std::memory_order_acquire);
   }
 
+  /// High-water mark of slot indexes ever used. Stays bounded by the peak
+  /// number of *concurrent* participants, not the total thread count
+  /// (tests churn thousands of short-lived threads through here).
+  uint32_t UsedSlots() const {
+    return used_slots_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Retired {
     void* object;
@@ -96,21 +117,45 @@ class EpochManager {
   struct alignas(kCacheLineSize) ThreadSlot {
     std::atomic<uint64_t> epoch{kIdle};
     std::atomic<uint32_t> nesting{0};
+    /// Owner-thread only; handoff across owners via the freelist latch.
+    uint32_t retire_ticker = 0;
+    /// The slot's retired queue: owner pushes at the back, reclaimers pop
+    /// eligible entries off the front. Epoch tags are nondecreasing.
+    mutable SpinLatch latch;
+    std::deque<Retired> retired;
+    std::atomic<uint64_t> pending{0};
   };
 
-  uint32_t SlotIndex();
-  uint64_t MinActiveEpoch() const;
+  ThreadSlot* MySlot();
+  ThreadSlot* AcquireSlot();
+  void ReleaseSlot(uint32_t index);
+  static void ReleaseSlotTrampoline(void* owner, uint32_t slot);
+  uint64_t MinActiveEpoch(uint64_t global) const;
+  void ReclaimUpTo(uint64_t min_active);
 
-  /// Distinguishes manager instances in the thread-local slot cache.
-  const uint64_t instance_id_;
-  std::atomic<uint64_t> global_epoch_{1};
+  /// Keys the per-thread slot caches (never the address: a new manager can
+  /// be allocated where a destroyed one lived).
+  const uint64_t registry_id_;
+  alignas(kCacheLineSize) std::atomic<uint64_t> global_epoch_{1};
+
   std::vector<ThreadSlot> slots_;
-  std::atomic<uint32_t> next_slot_{0};
+  std::atomic<uint32_t> used_slots_{0};
+  SpinLatch freelist_latch_;
+  std::vector<uint32_t> free_slots_;
 
-  SpinLatch retired_latch_;
-  std::vector<Retired> retired_;
-  std::atomic<uint64_t> pending_{0};
-  std::atomic<uint32_t> retire_ticker_{0};
+  /// Retirements from dead or slotless threads; drained like a slot queue.
+  mutable SpinLatch orphans_latch_;
+  std::deque<Retired> orphans_;
+  std::atomic<uint64_t> orphan_pending_{0};
+
+  /// Guards that could not get a slot (thread teardown, slot exhaustion):
+  /// a conservative shared count + epoch floor. The floor only matters while
+  /// the count is nonzero and only ever moves down -- conservative is safe.
+  std::atomic<uint64_t> slotless_guards_{0};
+  std::atomic<uint64_t> slotless_floor_{kIdle};
+
+  /// Keeps concurrent reclamation passes from dog-piling on slot latches.
+  SpinLatch reclaim_gate_;
 };
 
 /// RAII guard: protects raw pointers read from lock-free structures for the

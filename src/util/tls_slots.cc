@@ -1,0 +1,55 @@
+#include "util/tls_slots.h"
+
+#include <mutex>
+
+namespace mvstore {
+namespace tls_slots {
+namespace {
+
+struct Owner {
+  void* owner;
+  ReleaseFn release;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<uint64_t, Owner> owners;
+  uint64_t next_id = 1;
+};
+
+Registry& GetRegistry() {
+  // Leaked on purpose: thread-local destructors at process exit must still
+  // find a live registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+uint64_t RegisterOwner(void* owner, ReleaseFn release) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t id = r.next_id++;
+  r.owners.emplace(id, Owner{owner, release});
+  return id;
+}
+
+void UnregisterOwner(uint64_t id) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.owners.erase(id);
+}
+
+void ReleaseSlot(uint64_t id, uint32_t slot) {
+  Registry& r = GetRegistry();
+  // The callback runs under the mutex: UnregisterOwner (first line of every
+  // owner destructor) cannot complete while a release is in flight, so the
+  // owner outlives the callback.
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.owners.find(id);
+  if (it == r.owners.end()) return;
+  it->second.release(it->second.owner, slot);
+}
+
+}  // namespace tls_slots
+}  // namespace mvstore

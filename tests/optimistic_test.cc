@@ -216,7 +216,10 @@ TEST_F(OptimisticTest, AbortedWriterReleasesVersion) {
 }
 
 /// Speculative read of a preparing transaction's version, resolved by the
-/// provider committing: the dependent commits too.
+/// provider committing: the dependent commits too. Runs at Snapshot
+/// isolation -- Read Committed never speculates (visibility.h), so a
+/// snapshot reader whose begin timestamp lands inside the writer's
+/// Preparing window is what exercises the dependency path.
 TEST_F(OptimisticTest, CommitDependencyResolvedByCommit) {
   Put(1, 10);
   // t1 updates and stalls in Preparing by holding a commit dependency of its
@@ -230,7 +233,7 @@ TEST_F(OptimisticTest, CommitDependencyResolvedByCommit) {
   });
   uint64_t reads = 0;
   for (int i = 0; i < 2000; ++i) {
-    Transaction* t = BeginOpt(IsolationLevel::kReadCommitted);
+    Transaction* t = BeginOpt(IsolationLevel::kSnapshot);
     Row row{};
     Status s = engine_->Read(t, table_, 0, 1, &row);
     if (!s.IsAborted()) {

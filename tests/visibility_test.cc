@@ -146,6 +146,39 @@ TEST_F(VisibilityTest, Table1PreparingSpeculativeRead) {
   EXPECT_EQ(stats_.Get(Stat::kSpeculativeReads), 1u);
 }
 
+TEST_F(VisibilityTest, Table1PreparingReadCommittedNeverSpeculates) {
+  // Same situation as Table1PreparingSpeculativeRead, but the reader runs
+  // at Read Committed: no snapshot promise, so the Preparing creator is
+  // treated like an Active one -- invisible, and no commit dependency.
+  Transaction* self = NewTxn(100, TxnState::kActive);
+  self->isolation = IsolationLevel::kReadCommitted;
+  Transaction* tb = NewTxn(200, TxnState::kPreparing, /*end_ts=*/30);
+  Version* v = NewVersion(beginword::MakeTxnId(200),
+                          lockword::MakeTimestamp(kInfinity));
+  EXPECT_FALSE(CheckVisibility(Ctx(self), v, 40).visible);
+  EXPECT_EQ(self->commit_dep_counter.load(), 0u);
+  {
+    SpinLatchGuard g(tb->dep_latch);
+    EXPECT_TRUE(tb->commit_dep_set.empty());
+  }
+  EXPECT_EQ(stats_.Get(Stat::kSpeculativeReads), 0u);
+}
+
+TEST_F(VisibilityTest, Table1PreparingReadCommittedUpdateStillSpeculates) {
+  // An update-path probe (for_update) speculates even at Read Committed:
+  // surfacing the older version would only hand the updater a guaranteed
+  // write-write abort against the Preparing writer's lock.
+  Transaction* self = NewTxn(100, TxnState::kActive);
+  self->isolation = IsolationLevel::kReadCommitted;
+  NewTxn(200, TxnState::kPreparing, /*end_ts=*/30);
+  Version* v = NewVersion(beginword::MakeTxnId(200),
+                          lockword::MakeTimestamp(kInfinity));
+  VisibilityContext ctx = Ctx(self);
+  ctx.for_update = true;
+  EXPECT_TRUE(CheckVisibility(ctx, v, 40).visible);
+  EXPECT_EQ(self->commit_dep_counter.load(), 1u);
+}
+
 TEST_F(VisibilityTest, Table1PreparingTooNewInvisibleNoDep) {
   Transaction* self = NewTxn(100, TxnState::kActive);
   NewTxn(200, TxnState::kPreparing, /*end_ts=*/30);
@@ -232,6 +265,24 @@ TEST_F(VisibilityTest, Table2PreparingSpeculativeIgnore) {
     EXPECT_EQ(te->commit_dep_set.size(), 1u);
   }
   EXPECT_EQ(stats_.Get(Stat::kSpeculativeIgnores), 1u);
+}
+
+TEST_F(VisibilityTest, Table2PreparingReadCommittedStaysVisibleNoDep) {
+  // Mirror of Table2PreparingSpeculativeIgnore at Read Committed: TE has
+  // not committed, so V is still the latest committed version -- visible,
+  // and no commit dependency.
+  Transaction* self = NewTxn(100, TxnState::kActive);
+  self->isolation = IsolationLevel::kReadCommitted;
+  Transaction* te = NewTxn(200, TxnState::kPreparing, /*end_ts=*/30);
+  Version* v = NewVersion(beginword::MakeTimestamp(10),
+                          lockword::MakeLockWord(0, 200));
+  EXPECT_TRUE(CheckVisibility(Ctx(self), v, 50).visible);
+  EXPECT_EQ(self->commit_dep_counter.load(), 0u);
+  {
+    SpinLatchGuard g(te->dep_latch);
+    EXPECT_TRUE(te->commit_dep_set.empty());
+  }
+  EXPECT_EQ(stats_.Get(Stat::kSpeculativeIgnores), 0u);
 }
 
 TEST_F(VisibilityTest, Table2CommittedWriterEndTs) {
