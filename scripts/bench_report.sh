@@ -18,6 +18,20 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 SECONDS_PER_POINT="${BENCH_SECONDS:-0.3}"
+
+# Benchmark numbers must come from a build with fault-injection sites
+# compiled out entirely (-DMVSTORE_FAILPOINTS_ENABLED=OFF): even unarmed
+# sites cost an atomic load on the log/commit hot path, and a report
+# silently including that cost would poison the perf trajectory.
+if ! grep -q '^MVSTORE_FAILPOINTS_ENABLED:BOOL=OFF$' \
+    "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null; then
+  echo "bench_report.sh: ${BUILD_DIR} was not configured with" >&2
+  echo "  -DMVSTORE_FAILPOINTS_ENABLED=OFF -- benchmark builds must" >&2
+  echo "  compile failpoints out. Reconfigure with:" >&2
+  echo "    cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release \\" >&2
+  echo "      -DMVSTORE_FAILPOINTS_ENABLED=OFF && cmake --build ${BUILD_DIR} -j" >&2
+  exit 2
+fi
 OUT="${1:-BENCH_$(date +%Y%m%d).json}"
 THREAD_FLAG=()
 if [[ -n "${BENCH_THREADS:-}" ]]; then

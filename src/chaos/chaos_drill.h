@@ -1,0 +1,76 @@
+// Chaos drill: the acknowledged-commit survival harness.
+//
+// One drill runs `cycles` crash/recover rounds against a single durable
+// database directory. Each round forks a child process that arms a CRASH
+// action at a randomly chosen durability failpoint (log append, fsync,
+// rotation, checkpoint write/publish — see docs/RELIABILITY.md for the site
+// catalog), then hammers the database with concurrent read-modify-write
+// transactions in LogMode::kSync with fsync enabled. Every transaction the
+// database acknowledges as committed is recorded — AFTER Commit() returns
+// OK — in an append-only ack file via raw write(2), so the ack survives the
+// child dying with std::_Exit (which is exactly how the crash failpoints
+// kill it: no stdio flush, no destructors, like a real crash).
+//
+// After the child dies (or finishes), the parent recovers the database with
+// Database::Open and checks the contract this whole subsystem exists to
+// keep: every acknowledged commit is still there. Concretely, for every
+// acked (key, version): the key exists, its recovered version is >= the
+// acked version (later acked commits may have overwritten it), and the
+// recovered row's checksum is internally consistent. The database may hold
+// MORE than was acked (a commit that became durable just before the crash
+// ack could be written) — that is correct; losing an acked commit is the
+// bug.
+//
+// POSIX-only (fork/waitpid); RunDrill returns kUnavailable elsewhere.
+// Deterministic per (seed, scheme): site choice, hit counts, and workload
+// keys all derive from DrillOptions::seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace mvstore {
+namespace chaos {
+
+struct DrillOptions {
+  /// Scratch directory for the log, checkpoint, and ack file. OWNED by the
+  /// drill: RunDrill deletes and recreates it.
+  std::string dir;
+  Scheme scheme = Scheme::kMultiVersionOptimistic;
+  /// Drives everything random: crash-site choice, hit counts, workload keys.
+  uint64_t seed = 1;
+  /// Crash/recover rounds run back-to-back on the same database directory.
+  uint32_t cycles = 3;
+  /// Per-thread transaction budget per round; the armed crash usually kills
+  /// the child long before it is exhausted (a child that survives the
+  /// budget exits cleanly, which the drill also accepts).
+  uint32_t txns_per_cycle = 1500;
+  uint32_t writer_threads = 2;
+};
+
+struct DrillReport {
+  uint32_t cycles_run = 0;
+  /// Children that died at the armed failpoint (exit code
+  /// failpoint::kCrashExitCode).
+  uint32_t crashes = 0;
+  /// Children that exhausted their transaction budget before the crash
+  /// fired.
+  uint32_t clean_exits = 0;
+  /// Acknowledged commits verified present after the final recovery.
+  uint64_t acked_commits = 0;
+  /// Empty on success; otherwise the first violated invariant, with the
+  /// armed site / cycle / seed baked in for reproduction.
+  std::string failure;
+};
+
+/// Run one drill. The returned Status covers harness-level problems only
+/// (unsupported platform, fork failure, unusable directory); a correctness
+/// violation — an acknowledged commit missing after recovery — is reported
+/// in report->failure so the caller can print it verbatim.
+Status RunDrill(const DrillOptions& options, DrillReport* report);
+
+}  // namespace chaos
+}  // namespace mvstore

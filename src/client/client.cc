@@ -1,6 +1,8 @@
 #include "client/client.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace mvstore {
 
@@ -22,11 +24,85 @@ std::vector<uint8_t> KeyBody(TableId table, IndexId index, uint64_t key) {
 
 }  // namespace
 
-MVClient::MVClient(std::unique_ptr<Connection> conn)
-    : conn_(std::move(conn)) {}
+namespace {
+constexpr uint64_t kDefaultRetrySeed = 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+MVClient::MVClient(std::unique_ptr<Connection> conn, ClientOptions options)
+    : options_(options),
+      conn_(std::move(conn)),
+      rng_(options.retry_seed != 0 ? options.retry_seed : kDefaultRetrySeed) {}
+
+MVClient::MVClient(Transport& transport, ClientOptions options)
+    : options_(options),
+      transport_(&transport),
+      rng_(options.retry_seed != 0 ? options.retry_seed : kDefaultRetrySeed) {}
 
 MVClient::~MVClient() {
   if (conn_ != nullptr) conn_->Close();
+}
+
+void MVClient::ArmDeadline() {
+  if (options_.op_timeout_ms == 0) return;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(options_.op_timeout_ms);
+}
+
+bool MVClient::Reconnect() {
+  if (transport_ == nullptr) return false;
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+  Status s = Status::Internal();
+  conn_ = transport_->Connect(&s);
+  if (conn_ == nullptr) {
+    connect_status_ = s.ok() ? Status::Internal() : s;
+    return false;
+  }
+  connect_status_ = Status::OK();
+  // Fresh byte stream: any half-parsed frame from the old connection is
+  // garbage, and the old session (with any open transaction) is gone.
+  parser_ = wire::FrameParser();
+  broken_ = false;
+  in_txn_ = false;
+  ++reconnects_;
+  return true;
+}
+
+void MVClient::Backoff(uint32_t attempt) {
+  if (options_.backoff_base_ms == 0) return;
+  const uint32_t shift = attempt > 16 ? 16 : attempt - 1;
+  uint64_t ms = static_cast<uint64_t>(options_.backoff_base_ms) << shift;
+  if (ms > options_.backoff_max_ms) ms = options_.backoff_max_ms;
+  if (ms == 0) return;
+  // Deterministic jitter in [ms/2, ms] so a herd of clients retrying the
+  // same outage spreads out instead of re-stampeding in lockstep.
+  rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
+  const uint64_t half = ms / 2;
+  ms = ms - half + ((rng_ >> 33) % (half + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void MVClient::TrackTxnState(Opcode opcode, const Status& s) {
+  if (!connected()) {
+    in_txn_ = false;  // the server-side transaction died with the session
+    return;
+  }
+  switch (opcode) {
+    case Opcode::kBegin:
+      if (s.ok()) in_txn_ = true;
+      return;
+    case Opcode::kCommit:
+    case Opcode::kAbort:
+      in_txn_ = false;  // the session's txn slot is free either way
+      return;
+    default:
+      break;
+  }
+  // The server rolls an open transaction back itself when an op aborts it
+  // (conflict, validation) and when the session is shed mid-transaction.
+  if (s.IsAborted() || s.IsUnavailable()) in_txn_ = false;
 }
 
 void MVClient::QueueFrame(Opcode opcode, const std::vector<uint8_t>& body) {
@@ -71,7 +147,30 @@ Status MVClient::ReadResponse(Opcode expect, WireResult* result) {
         return Status::Internal();
       case wire::FrameParser::Result::kNeedMore: {
         uint8_t chunk[4096];
-        size_t n = conn_->Recv(chunk, sizeof(chunk));
+        size_t n = 0;
+        bool timed_out = false;
+        if (options_.op_timeout_ms == 0) {
+          n = conn_->Recv(chunk, sizeof(chunk));
+        } else {
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline_) {
+            timed_out = true;
+          } else {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline_ - now)
+                    .count() +
+                1;
+            n = conn_->RecvTimeout(chunk, sizeof(chunk),
+                                   static_cast<uint32_t>(left), &timed_out);
+          }
+        }
+        if (timed_out) {
+          // The response may still arrive later, which would desync the
+          // framing — the connection cannot be trusted again.
+          broken_ = true;
+          return Status::Timeout();
+        }
         if (n == 0) {
           broken_ = true;
           return Status::Internal();
@@ -83,12 +182,11 @@ Status MVClient::ReadResponse(Opcode expect, WireResult* result) {
   }
 }
 
-Status MVClient::Roundtrip(Opcode opcode, const std::vector<uint8_t>& body,
-                           std::vector<uint8_t>* payload) {
-  if (!connected()) return Status::Internal();
-  if (!batch_ops_.empty()) return Status::InvalidArgument();  // flush first
+Status MVClient::RoundtripOnce(Opcode opcode, const std::vector<uint8_t>& body,
+                               std::vector<uint8_t>* payload) {
   std::vector<uint8_t> frame;
   wire::AppendFrame(&frame, opcode, 0, body.data(), body.size());
+  ArmDeadline();
   if (!conn_->Send(frame.data(), frame.size())) {
     broken_ = true;
     return Status::Internal();
@@ -100,7 +198,55 @@ Status MVClient::Roundtrip(Opcode opcode, const std::vector<uint8_t>& body,
   return result.status;
 }
 
-Status MVClient::Ping() { return Roundtrip(Opcode::kPing, {}, nullptr); }
+Status MVClient::Roundtrip(Opcode opcode, const std::vector<uint8_t>& body,
+                           std::vector<uint8_t>* payload, bool idempotent) {
+  if (!batch_ops_.empty()) return Status::InvalidArgument();  // flush first
+  Status s = Status::Internal();
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (!connected() && transport_ != nullptr) {
+      // Lazy first dial, or redial after a poisoned connection. A failed
+      // dial never sent anything, so it is always a retryable outcome.
+      if (Reconnect()) {
+        s = Status::OK();
+      } else {
+        s = connect_status_;
+      }
+    }
+    const bool had_txn = in_txn_;
+    bool attempted = false;
+    if (connected()) {
+      attempted = true;
+      s = RoundtripOnce(opcode, body, payload);
+      TrackTxnState(opcode, s);
+    } else if (transport_ == nullptr) {
+      return Status::Internal();  // single-connection client stays broken
+    }
+    if (s.ok()) return s;
+    // kUnavailable means the request was refused unstarted — always safe
+    // to re-send. A connection that broke mid-request is only safe to
+    // replay when doing so cannot double-apply: idempotent reads, or Begin
+    // (the old session's transaction died with it). Anything inside an
+    // open interactive transaction cannot be transparently replayed — the
+    // transaction state is gone — so the caller must restart it.
+    bool retry_safe;
+    if (!attempted) {
+      retry_safe = true;
+    } else if (s.IsUnavailable()) {
+      retry_safe = !had_txn;
+    } else if (!connected()) {
+      retry_safe = !had_txn && (idempotent || opcode == Opcode::kBegin);
+    } else {
+      retry_safe = false;  // definitive response on a healthy connection
+    }
+    if (!retry_safe || attempt >= options_.max_retries) return s;
+    ++retries_;
+    Backoff(attempt + 1);
+  }
+}
+
+Status MVClient::Ping() {
+  return Roundtrip(Opcode::kPing, {}, nullptr, /*idempotent=*/true);
+}
 
 Status MVClient::Begin(IsolationLevel isolation, bool read_only) {
   std::vector<uint8_t> body;
@@ -116,7 +262,8 @@ Status MVClient::Abort() { return Roundtrip(Opcode::kAbort, {}, nullptr); }
 Status MVClient::Get(TableId table, IndexId index, uint64_t key, void* row,
                      size_t row_size) {
   std::vector<uint8_t> payload;
-  Status s = Roundtrip(Opcode::kGet, KeyBody(table, index, key), &payload);
+  Status s = Roundtrip(Opcode::kGet, KeyBody(table, index, key), &payload,
+                       /*idempotent=*/true);
   if (!s.ok()) return s;
   if (payload.size() != row_size) {
     broken_ = true;
@@ -128,7 +275,8 @@ Status MVClient::Get(TableId table, IndexId index, uint64_t key, void* row,
 
 Status MVClient::Get(TableId table, IndexId index, uint64_t key,
                      std::vector<uint8_t>* row) {
-  return Roundtrip(Opcode::kGet, KeyBody(table, index, key), row);
+  return Roundtrip(Opcode::kGet, KeyBody(table, index, key), row,
+                   /*idempotent=*/true);
 }
 
 Status MVClient::Insert(TableId table, const void* payload, size_t size) {
@@ -161,7 +309,8 @@ Status MVClient::ScanRange(TableId table, IndexId index, uint64_t lo,
   wire::Put(&body, hi);
   wire::Put(&body, max_rows);
   std::vector<uint8_t> payload;
-  Status s = Roundtrip(Opcode::kScanRange, body, &payload);
+  Status s =
+      Roundtrip(Opcode::kScanRange, body, &payload, /*idempotent=*/true);
   if (!s.ok()) return s;
   BodyReader reader(payload.data(), payload.size());
   uint32_t count = 0;
@@ -185,7 +334,7 @@ Status MVClient::Resolve(const std::string& name, uint32_t* proc_id) {
   std::vector<uint8_t> body;
   PutBytes(&body, name.data(), name.size());
   std::vector<uint8_t> payload;
-  Status s = Roundtrip(Opcode::kResolve, body, &payload);
+  Status s = Roundtrip(Opcode::kResolve, body, &payload, /*idempotent=*/true);
   if (!s.ok()) return s;
   if (payload.size() != 4) {
     broken_ = true;
@@ -206,7 +355,7 @@ Status MVClient::Call(uint32_t proc_id, const void* arg, size_t arg_len,
 
 Status MVClient::Stats(std::string* text) {
   std::vector<uint8_t> payload;
-  Status s = Roundtrip(Opcode::kStats, {}, &payload);
+  Status s = Roundtrip(Opcode::kStats, {}, &payload, /*idempotent=*/true);
   if (!s.ok()) return s;
   text->assign(reinterpret_cast<const char*>(payload.data()), payload.size());
   return s;
@@ -257,6 +406,7 @@ void MVClient::QueueCall(uint32_t proc_id, const void* arg, size_t arg_len) {
 }
 
 Status MVClient::FlushBatch(std::vector<WireResult>* results) {
+  if (!connected() && transport_ != nullptr) Reconnect();
   if (!connected()) {
     batch_.clear();
     batch_ops_.clear();
@@ -269,19 +419,24 @@ Status MVClient::FlushBatch(std::vector<WireResult>* results) {
   frames.swap(batch_);
   if (!conn_->Send(frames.data(), frames.size())) {
     broken_ = true;
+    in_txn_ = false;
     return Status::Internal();
   }
   for (Opcode opcode : expected) {
     WireResult result;
+    ArmDeadline();  // per-response deadline, like the synchronous path
     Status transport = ReadResponse(opcode, &result);
     if (!transport.ok()) {
       // Transport/protocol death mid-batch: the remaining responses will
-      // never arrive; surface what we know.
+      // never arrive; surface what we know. A batch is never retried — any
+      // prefix of it may already have applied.
+      in_txn_ = false;
       if (results != nullptr) {
         results->push_back({transport, {}});
       }
       return Status::Internal();
     }
+    TrackTxnState(opcode, result.status);
     if (results != nullptr) results->push_back(std::move(result));
   }
   return Status::OK();

@@ -18,13 +18,25 @@
 // Statuses come from the server verbatim (an Aborted status means the
 // server already rolled the transaction back; kUnavailable means the
 // request was refused unstarted — backpressure or shutdown — and can be
-// retried). Transport failures and protocol violations surface as
-// kInternal and poison the client: every later call fails fast, because a
-// byte stream that lost framing cannot be resynchronized.
+// retried; kReadOnly means the database degraded and refused the write).
+// Transport failures and protocol violations surface as kInternal and
+// poison the connection: a byte stream that lost framing cannot be
+// resynchronized. A client constructed over a Transport can recover by
+// reconnecting; a client owning a single Connection stays broken.
+//
+// Retry policy (ClientOptions): kUnavailable responses are always
+// retry-safe (the request was never started). A broken or timed-out
+// connection is retried — through a reconnect — only for idempotent
+// requests (Ping/Get/ScanRange/Resolve/Stats) and Begin; a write or Commit
+// whose outcome is unknown is NEVER silently retried (the caller must
+// decide). No retry happens while an interactive transaction is open: the
+// transaction died with the session, so the caller has to restart it.
+// Backoff between attempts is capped exponential with deterministic jitter.
 //
 // Not thread-safe: one MVClient per thread, like one Connection.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -44,17 +56,52 @@ struct WireResult {
   std::vector<uint8_t> payload;
 };
 
+struct ClientOptions {
+  /// Per-operation deadline on reading a response, in milliseconds; 0 waits
+  /// forever. Expiry surfaces as kTimeout and poisons the connection (a
+  /// late response would desync the framing), so with a Transport the next
+  /// retryable request reconnects.
+  uint32_t op_timeout_ms = 0;
+  /// Extra attempts for retry-safe failures (see the policy above). 0
+  /// disables retry entirely.
+  uint32_t max_retries = 0;
+  /// First backoff sleep; doubles per attempt up to backoff_max_ms, with
+  /// jitter drawn deterministically from retry_seed in [ms/2, ms]. 0 skips
+  /// sleeping (tests).
+  uint32_t backoff_base_ms = 1;
+  uint32_t backoff_max_ms = 128;
+  /// Jitter stream seed; 0 uses a fixed default.
+  uint64_t retry_seed = 0;
+};
+
 class MVClient {
  public:
   /// Takes ownership of an established connection (Transport::Connect).
-  explicit MVClient(std::unique_ptr<Connection> conn);
+  /// Without a Transport the client cannot reconnect: transport-level
+  /// retries are limited to kUnavailable responses on the live connection.
+  explicit MVClient(std::unique_ptr<Connection> conn,
+                    ClientOptions options = {});
+  /// Reconnecting client: dials `transport` lazily on first use and redials
+  /// after a broken connection when the retry policy allows. `transport`
+  /// must outlive the client.
+  explicit MVClient(Transport& transport, ClientOptions options = {});
   ~MVClient();
 
   MVClient(const MVClient&) = delete;
   MVClient& operator=(const MVClient&) = delete;
 
-  /// False once the transport broke or the protocol desynced.
+  /// False once the transport broke or the protocol desynced (a Transport-
+  /// backed client may still recover on its next retryable request).
   bool connected() const { return !broken_ && conn_ != nullptr; }
+
+  /// True while an interactive Begin..Commit/Abort transaction is open on
+  /// this connection (client-side bookkeeping driving the retry policy).
+  bool in_txn() const { return in_txn_; }
+
+  /// Successful (re)connects through the Transport, and requests re-sent by
+  /// the retry policy (diagnostics).
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t retries() const { return retries_; }
 
   /// --- synchronous API --------------------------------------------------------
 
@@ -111,15 +158,35 @@ class MVClient {
 
  private:
   void QueueFrame(wire::Opcode opcode, const std::vector<uint8_t>& body);
+  /// Retry loop around RoundtripOnce; `idempotent` marks requests safe to
+  /// re-send after a broken connection (outcome-unknown writes are not).
   Status Roundtrip(wire::Opcode opcode, const std::vector<uint8_t>& body,
-                   std::vector<uint8_t>* payload);
+                   std::vector<uint8_t>* payload, bool idempotent = false);
+  Status RoundtripOnce(wire::Opcode opcode, const std::vector<uint8_t>& body,
+                       std::vector<uint8_t>* payload);
   Status ReadResponse(wire::Opcode expect, WireResult* result);
+  /// Update in_txn_ from an (opcode, response status) pair.
+  void TrackTxnState(wire::Opcode opcode, const Status& s);
+  /// Arm deadline_ for one request/batch from options_.op_timeout_ms.
+  void ArmDeadline();
+  /// Dial transport_ again (closing any old connection); false when there
+  /// is no transport or the dial failed (connect_status_ says why).
+  bool Reconnect();
+  void Backoff(uint32_t attempt);
 
+  ClientOptions options_;
+  Transport* transport_ = nullptr;  // not owned; may be null
   std::unique_ptr<Connection> conn_;
   wire::FrameParser parser_;
   std::vector<uint8_t> batch_;
   std::vector<wire::Opcode> batch_ops_;
   bool broken_ = false;
+  bool in_txn_ = false;
+  Status connect_status_;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t rng_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace mvstore

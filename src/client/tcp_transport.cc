@@ -1,9 +1,12 @@
 #include "client/tcp_transport.h"
 
+#include "common/failpoint.h"
+
 #if !defined(_WIN32)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -20,6 +23,7 @@ class TcpConnection : public Connection {
   ~TcpConnection() override { Close(); }
 
   bool Send(const uint8_t* data, size_t n) override {
+    if (MVSTORE_FAILPOINT("client.send")) return false;
     size_t sent = 0;
     while (sent < n) {
       ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
@@ -33,12 +37,37 @@ class TcpConnection : public Connection {
   }
 
   size_t Recv(uint8_t* buf, size_t n) override {
+    if (MVSTORE_FAILPOINT("client.recv")) return 0;
     while (true) {
       ssize_t r = ::recv(fd_, buf, n, 0);
       if (r > 0) return static_cast<size_t>(r);
       if (r < 0 && errno == EINTR) continue;
       return 0;
     }
+  }
+
+  size_t RecvTimeout(uint8_t* buf, size_t n, uint32_t timeout_ms,
+                     bool* timed_out) override {
+    if (timed_out != nullptr) *timed_out = false;
+    if (timeout_ms == 0) return Recv(buf, n);
+    if (MVSTORE_FAILPOINT("client.recv")) return 0;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    while (true) {
+      int r = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (r > 0) break;
+      if (r == 0) {
+        // A hung server, not a dead one: the caller decides whether the
+        // connection can still be trusted (it cannot — a late response
+        // would desync the framing — so MVClient poisons it).
+        if (timed_out != nullptr) *timed_out = true;
+        return 0;
+      }
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    return Recv(buf, n);
   }
 
   void Close() override {
@@ -65,6 +94,7 @@ std::unique_ptr<Connection> TcpTransport::Connect(Status* status) {
   if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     return fail(Status::InvalidArgument());
   }
+  if (MVSTORE_FAILPOINT("client.connect")) return fail(Status::Internal());
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return fail(Status::Internal());
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {

@@ -31,6 +31,18 @@ class Connection {
   /// available. 0 means EOF/broken connection.
   virtual size_t Recv(uint8_t* buf, size_t n) = 0;
 
+  /// Like Recv, but give up after `timeout_ms` with no data: returns 0 with
+  /// *timed_out set. 0 with *timed_out false still means EOF/broken.
+  /// timeout_ms == 0 waits forever. The default ignores the deadline —
+  /// correct for in-process transports (loopback), whose responses are
+  /// already buffered by the time the client reads; real sockets override.
+  virtual size_t RecvTimeout(uint8_t* buf, size_t n, uint32_t timeout_ms,
+                             bool* timed_out) {
+    (void)timeout_ms;
+    if (timed_out != nullptr) *timed_out = false;
+    return Recv(buf, n);
+  }
+
   virtual void Close() {}
 };
 

@@ -63,6 +63,8 @@ enum class Stat : uint32_t {
   kRecoveryRecordsReplayed,
   kRecoveryRecordsSkipped,
   kRecoveryIdempotentApplies,
+  kReadOnlyTransitions,
+  kWritesRefusedReadOnly,
   kNumStats,
 };
 
@@ -81,6 +83,7 @@ inline const char* StatName(Stat stat) {
       "checkpoints_taken",  "recovery_torn_tails",
       "recovery_torn_bytes_dropped", "recovery_records_replayed",
       "recovery_records_skipped", "recovery_idempotent_applies",
+      "read_only_transitions", "writes_refused_read_only",
   };
   return kNames[static_cast<uint32_t>(stat)];
 }

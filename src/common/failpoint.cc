@@ -1,0 +1,249 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace mvstore {
+namespace failpoint {
+
+namespace internal {
+std::atomic<uint32_t> g_armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Action action;
+  uint64_t hits = 0;  // evaluations since arming
+  uint64_t rng = 0;   // LCG state for the one_in gate
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a; only needs to give distinct sites distinct LCG streams.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool LcgFires(SiteState& state) {
+  if (state.action.one_in <= 1) return true;
+  state.rng = state.rng * 6364136223846793005ull + 1442695040888963407ull;
+  return (state.rng >> 33) % state.action.one_in == 0;
+}
+
+void PublishCount() {
+  internal::g_armed_sites.store(
+      static_cast<uint32_t>(registry().sites.size()),
+      std::memory_order_release);
+}
+
+/// Parse "error", "crash", "delay(12)", "off" with optional "@N" and "%K"
+/// suffixes (either order) into `out`.
+bool ParseAction(const std::string& text, Action* out, std::string* error) {
+  Action action;
+  size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": '" + text + "'";
+    return false;
+  };
+  size_t word_end = text.find_first_of("@%(", pos);
+  std::string word = text.substr(pos, word_end - pos);
+  if (word == "off") {
+    action.kind = ActionKind::kOff;
+  } else if (word == "error") {
+    action.kind = ActionKind::kError;
+  } else if (word == "crash") {
+    action.kind = ActionKind::kCrash;
+  } else if (word == "delay") {
+    action.kind = ActionKind::kDelay;
+  } else {
+    return fail("unknown failpoint action '" + word + "'");
+  }
+  pos = (word_end == std::string::npos) ? text.size() : word_end;
+
+  auto parse_u64 = [&](uint64_t* value) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
+    uint64_t v = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<uint64_t>(text[pos] - '0');
+      ++pos;
+    }
+    *value = v;
+    return true;
+  };
+
+  if (action.kind == ActionKind::kDelay) {
+    if (pos >= text.size() || text[pos] != '(') {
+      return fail("delay needs '(ms)'");
+    }
+    ++pos;
+    uint64_t ms = 0;
+    if (!parse_u64(&ms) || pos >= text.size() || text[pos] != ')') {
+      return fail("delay needs '(ms)'");
+    }
+    ++pos;
+    action.delay_ms = static_cast<uint32_t>(ms);
+  }
+  while (pos < text.size()) {
+    char c = text[pos++];
+    uint64_t value = 0;
+    if (c == '@') {
+      if (!parse_u64(&value)) return fail("'@' needs a hit count");
+      action.hit = value;
+    } else if (c == '%') {
+      if (!parse_u64(&value)) return fail("'%' needs a one-in-K count");
+      action.one_in = value;
+    } else {
+      return fail("trailing garbage after action");
+    }
+  }
+  *out = action;
+  return true;
+}
+
+/// One-time loader for the MVSTORE_FAILPOINTS environment spec. A malformed
+/// env spec is a hard error: silently running without the faults the
+/// operator asked for would make a chaos run vacuously green.
+struct EnvLoader {
+  EnvLoader() {
+    const char* spec = std::getenv("MVSTORE_FAILPOINTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    std::string error;
+    if (!ArmSpec(spec, &error)) {
+      std::fprintf(stderr, "mvstore: bad MVSTORE_FAILPOINTS: %s\n",
+                   error.c_str());
+      std::abort();
+    }
+  }
+};
+EnvLoader g_env_loader;
+
+}  // namespace
+
+bool CompiledIn() {
+#if defined(MVSTORE_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Arm(const std::string& site, const Action& action) {
+  if (action.kind == ActionKind::kOff) {
+    Disarm(site);
+    return;
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  SiteState& state = reg.sites[site];
+  state.action = action;
+  if (state.action.hit == 0) state.action.hit = 1;
+  state.hits = 0;
+  state.rng = action.seed != 0 ? action.seed : HashName(site);
+  PublishCount();
+}
+
+bool ArmSpec(const std::string& spec, std::string* error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "expected site=action: '" + clause + "'";
+      return false;
+    }
+    Action action;
+    if (!ParseAction(clause.substr(eq + 1), &action, error)) return false;
+    Arm(clause.substr(0, eq), action);
+  }
+  return true;
+}
+
+void Disarm(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.erase(site);
+  PublishCount();
+}
+
+void DisarmAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.clear();
+  PublishCount();
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.sites.size());
+  for (const auto& entry : reg.sites) names.push_back(entry.first);
+  return names;
+}
+
+namespace internal {
+
+bool EvaluateSlow(const char* site) {
+  ActionKind fired = ActionKind::kOff;
+  uint32_t delay_ms = 0;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return false;
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.hits < state.action.hit) return false;
+    if (!LcgFires(state)) return false;
+    fired = state.action.kind;
+    delay_ms = state.action.delay_ms;
+  }
+  switch (fired) {
+    case ActionKind::kError:
+      return true;
+    case ActionKind::kCrash:
+      // No stdio flush, no atexit, no destructors: model a real crash. The
+      // kernel keeps whatever already reached the page cache.
+      std::_Exit(kCrashExitCode);
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case ActionKind::kOff:
+      break;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace mvstore

@@ -1,0 +1,120 @@
+// Deterministic fault-injection points ("failpoints").
+//
+// A failpoint is a named site compiled into a syscall-adjacent branch of the
+// durability or serving path (log append, fsync, checkpoint rename, socket
+// read, ...). Unarmed sites cost one relaxed atomic load of a global counter;
+// builds configured with -DMVSTORE_FAILPOINTS_ENABLED=OFF compile every site
+// to a constant-false branch so benchmark builds carry zero cost (enforced by
+// scripts/bench_report.sh).
+//
+// Arming is programmatic (failpoint::Arm / ArmSpec) or environmental: the
+// MVSTORE_FAILPOINTS env var is parsed once at process start. The spec
+// grammar, shared by both paths:
+//
+//   spec    := site "=" action *( ";" site "=" action )
+//   action  := ( "error" | "crash" | "delay(" ms ")" | "off" )
+//              [ "@" hit ]      ; skip the first hit-1 evaluations
+//              [ "%" one_in ]   ; then fire on ~1/K evaluations (seeded LCG)
+//
+// Examples: "log.fsync=error", "log.append.write=crash@17",
+// "server.read=error%1000", "client.recv=delay(50)@3".
+//
+// Actions:
+//   error  -> Evaluate() returns true; the site's code path reports the same
+//             failure the wrapped syscall would (ENOSPC, EIO, EOF, ...).
+//   crash  -> the process dies immediately via std::_Exit(kCrashExitCode):
+//             no stdio flush, no destructors — exactly the page-cache state a
+//             real crash leaves. The chaos harness (src/chaos/) matches on
+//             the exit code.
+//   delay  -> sleep the given milliseconds, then report "did not fire"
+//             (latency injection without failure).
+//
+// The site catalog lives in docs/RELIABILITY.md; keep it in sync when adding
+// sites.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/port.h"
+
+namespace mvstore {
+namespace failpoint {
+
+/// Exit code of a crash-armed site. Distinct from any exit code the normal
+/// process paths use, so harnesses can tell an injected crash from a bug.
+inline constexpr int kCrashExitCode = 42;
+
+enum class ActionKind : uint8_t {
+  kOff = 0,  // site disarmed (parse target for "off")
+  kError,    // Evaluate() returns true
+  kCrash,    // std::_Exit(kCrashExitCode) inside Evaluate()
+  kDelay,    // sleep delay_ms, return false
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  /// Fire starting at this evaluation of the site (1-based; 0 == 1). A crash
+  /// action with hit=N models "crash after N-1 successful passes".
+  uint64_t hit = 1;
+  /// Probabilistic gate: after `hit` is reached, fire on roughly one in K
+  /// eligible evaluations using a per-site deterministic LCG. 0 = always.
+  uint64_t one_in = 0;
+  /// Sleep length for kDelay.
+  uint32_t delay_ms = 0;
+  /// Seed for the one_in LCG stream; 0 = derive from the site name so the
+  /// same spec replays identically run over run.
+  uint64_t seed = 0;
+};
+
+/// True when sites are compiled into this binary (MVSTORE_FAILPOINTS_ENABLED).
+bool CompiledIn();
+
+/// Arm `site` with `action` (replacing any previous arming). Arming a site
+/// with ActionKind::kOff is equivalent to Disarm().
+void Arm(const std::string& site, const Action& action);
+
+/// Parse and arm a full spec string ("site=action;site=action"). Returns
+/// false (arming nothing from the offending clause onward) on a malformed
+/// spec; `error`, when non-null, receives a description.
+bool ArmSpec(const std::string& spec, std::string* error = nullptr);
+
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Evaluations seen by `site` while armed (hit counting starts at arming).
+uint64_t Hits(const std::string& site);
+
+/// Currently armed site names (diagnostics).
+std::vector<std::string> ArmedSites();
+
+namespace internal {
+/// Number of armed sites; the unarmed fast path is one relaxed load of this.
+extern std::atomic<uint32_t> g_armed_sites;
+bool EvaluateSlow(const char* site);
+}  // namespace internal
+
+/// Hot-path hook; use the MVSTORE_FAILPOINT macro rather than calling this.
+inline bool Evaluate(const char* site) {
+  if (MVSTORE_LIKELY(
+          internal::g_armed_sites.load(std::memory_order_relaxed) == 0)) {
+    return false;
+  }
+  return internal::EvaluateSlow(site);
+}
+
+}  // namespace failpoint
+}  // namespace mvstore
+
+/// `if (MVSTORE_FAILPOINT("log.fsync")) { ...report failure... }`
+/// True when the named site is armed with an error action that fires on this
+/// evaluation. Crash actions never return; delay actions sleep and yield
+/// false. Compiles to `false` when MVSTORE_FAILPOINTS_ENABLED is off.
+#if defined(MVSTORE_FAILPOINTS_ENABLED)
+#define MVSTORE_FAILPOINT(site) \
+  MVSTORE_UNLIKELY(::mvstore::failpoint::Evaluate(site))
+#else
+#define MVSTORE_FAILPOINT(site) (false)
+#endif

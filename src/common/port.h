@@ -35,6 +35,24 @@ inline constexpr bool kTsanBuild = false;
 inline constexpr bool kTsanBuild = false;
 #endif
 
+/// True in AddressSanitizer builds; same slab-allocator reasoning as TSan —
+/// slab recycling hides object lifetimes from the quarantine, so error-path
+/// leak hunting wants real malloc/free.
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kAsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kAsanBuild = true;
+#else
+inline constexpr bool kAsanBuild = false;
+#endif
+#else
+inline constexpr bool kAsanBuild = false;
+#endif
+
+/// Any sanitizer that wants heap-backed object lifetimes.
+inline constexpr bool kSanitizerBuild = kTsanBuild || kAsanBuild;
+
 /// CPU pause hint for spin loops.
 inline void CpuRelax() {
 #if defined(__x86_64__) || defined(__i386__)

@@ -44,6 +44,10 @@ std::string Status::ToString() const {
       return "Internal";
     case Code::kUnavailable:
       return "Unavailable";
+    case Code::kReadOnly:
+      return "ReadOnly";
+    case Code::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

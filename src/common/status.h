@@ -55,6 +55,8 @@ class Status {
     kAlreadyExists,  // unique-key violation on insert
     kInternal,
     kUnavailable,    // backpressure/shutdown: retry later, work not started
+    kReadOnly,       // durability degraded: writes refused, reads still serve
+    kTimeout,        // client-side deadline expired; outcome unknown
   };
 
   Status() = default;
@@ -78,6 +80,17 @@ class Status {
   static Status Unavailable() {
     return Status(Code::kUnavailable, AbortReason::kNone);
   }
+  /// The database is in read-only degraded mode (a log write or fsync
+  /// failed): the write was refused, reads and stats still serve. Commit
+  /// returning this means the outcome was NOT made durable — treat the
+  /// transaction as failed. See docs/RELIABILITY.md.
+  static Status ReadOnly() {
+    return Status(Code::kReadOnly, AbortReason::kNone);
+  }
+  /// A client-side deadline expired before the response arrived. The
+  /// server may still execute the request: the outcome is unknown, so only
+  /// idempotent requests are safe to retry (MVClient enforces this).
+  static Status Timeout() { return Status(Code::kTimeout, AbortReason::kNone); }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsAborted() const { return code_ == Code::kAborted; }
@@ -85,6 +98,8 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsReadOnly() const { return code_ == Code::kReadOnly; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
 
   Code code() const { return code_; }
   AbortReason abort_reason() const { return reason_; }

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/recovery.h"
 #include "log/log_segment.h"
 #include "txn/transaction.h"
@@ -166,6 +167,9 @@ Status Checkpointer::Take(CheckpointStats* stats) {
     const uint64_t checksum = writer.checksum();
     write_ok = writer.Raw(&checksum, 8) && writer.Raw(kFooterMagic, 8);
   }
+  // Injected tmp-write failure (or crash mid-checkpoint, leaving a stale
+  // tmp file behind — which publish-by-rename makes harmless).
+  if (MVSTORE_FAILPOINT("checkpoint.write")) write_ok = false;
   // 4. Make it durable, then publish atomically.
   if (write_ok) write_ok = std::fflush(file) == 0;
   if (write_ok) write_ok = PortableFsync(file);
@@ -174,8 +178,14 @@ Status Checkpointer::Take(CheckpointStats* stats) {
     std::remove(tmp_path.c_str());
     return scan_status.ok() ? Status::Internal() : scan_status;
   }
+  // Injected rename failure; a crash action here dies between the durable
+  // tmp file and the publish — recovery must keep using the old checkpoint.
   std::error_code ec;
-  std::filesystem::rename(tmp_path, options_.path, ec);
+  if (MVSTORE_FAILPOINT("checkpoint.rename")) {
+    ec = std::make_error_code(std::errc::io_error);
+  } else {
+    std::filesystem::rename(tmp_path, options_.path, ec);
+  }
   if (ec) {
     std::remove(tmp_path.c_str());
     return Status::Internal();
@@ -213,6 +223,7 @@ Status InspectCheckpoint(const std::string& path, CheckpointInfo* info) {
 
 Status LoadCheckpoint(Database& db, const std::string& path,
                       CheckpointInfo* info, uint64_t* rows_loaded) {
+  if (MVSTORE_FAILPOINT("checkpoint.load")) return Status::Internal();
   Status s;
   std::vector<uint8_t> bytes = ReadLogFile(path, &s);
   if (!s.ok()) return s;

@@ -99,9 +99,62 @@ Txn* Database::Begin(IsolationLevel isolation, bool read_only) {
                                   isolation);
 }
 
+void Database::EnterReadOnlyMode(const char* why) {
+  bool expected = false;
+  if (!read_only_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return;  // already degraded; first transition wins
+  }
+  stats().Add(Stat::kReadOnlyTransitions);
+  std::fprintf(stderr,
+               "mvstore: entering READ-ONLY mode (%s); writes are refused "
+               "with kReadOnly until restart + recovery (see "
+               "docs/RELIABILITY.md)\n",
+               why);
+}
+
+bool Database::WriteAllowed(bool check_sink) {
+  if (MVSTORE_UNLIKELY(read_only_.load(std::memory_order_acquire))) {
+    stats().Add(Stat::kWritesRefusedReadOnly);
+    return false;
+  }
+  if (check_sink && options_.log_mode != LogMode::kDisabled &&
+      MVSTORE_UNLIKELY(!log_status().ok())) {
+    EnterReadOnlyMode("log sink reported failure");
+    stats().Add(Stat::kWritesRefusedReadOnly);
+    return false;
+  }
+  return true;
+}
+
 Status Database::Commit(Txn* txn) {
+  const bool has_writes = txn->mv != nullptr ? !txn->mv->write_set.empty()
+                                             : !txn->sv->undo.empty();
+  if (has_writes && MVSTORE_UNLIKELY(!WriteAllowed(/*check_sink=*/true))) {
+    // Refuse before anything becomes visible or reaches the log: roll the
+    // transaction back and report the degradation instead of acknowledging
+    // a commit that could never be durable.
+    if (txn->mv != nullptr) {
+      mv_->Abort(txn->mv);
+    } else {
+      sv_->Abort(txn->sv);
+    }
+    ReleaseTxn(txn);
+    return Status::ReadOnly();
+  }
   Status s = txn->mv != nullptr ? mv_->Commit(txn->mv) : sv_->Commit(txn->sv);
   ReleaseTxn(txn);
+  if (has_writes && options_.log_mode != LogMode::kDisabled &&
+      MVSTORE_UNLIKELY(!log_status().ok())) {
+    EnterReadOnlyMode("log write/fsync failure during commit");
+    if (s.ok() && options_.log_mode == LogMode::kSync) {
+      // The engine committed in memory but the synchronous flush this ack
+      // would have vouched for failed: the outcome is NOT durable. Report
+      // kReadOnly so the caller treats the transaction as failed (the
+      // commit-durability contract table in docs/RELIABILITY.md).
+      return Status::ReadOnly();
+    }
+  }
   return s;
 }
 
@@ -158,6 +211,11 @@ Status Database::ScanTable(Txn* txn, TableId table_id,
 }
 
 Status Database::Insert(Txn* txn, TableId table_id, const void* payload) {
+  // Read-only refusal does not abort: the transaction may keep reading and
+  // commit its read-only remainder.
+  if (MVSTORE_UNLIKELY(!WriteAllowed(/*check_sink=*/false))) {
+    return Status::ReadOnly();
+  }
   Status s = txn->mv != nullptr ? mv_->Insert(txn->mv, table_id, payload)
                                 : sv_->Insert(txn->sv, table_id, payload);
   if (s.IsAborted()) ReleaseTxn(txn);
@@ -167,6 +225,9 @@ Status Database::Insert(Txn* txn, TableId table_id, const void* payload) {
 Status Database::Update(Txn* txn, TableId table_id, IndexId index_id,
                         uint64_t key,
                         const std::function<void(void*)>& mutator) {
+  if (MVSTORE_UNLIKELY(!WriteAllowed(/*check_sink=*/false))) {
+    return Status::ReadOnly();
+  }
   Status s =
       txn->mv != nullptr
           ? mv_->Update(txn->mv, table_id, index_id, key, mutator)
@@ -177,6 +238,9 @@ Status Database::Update(Txn* txn, TableId table_id, IndexId index_id,
 
 Status Database::Delete(Txn* txn, TableId table_id, IndexId index_id,
                         uint64_t key) {
+  if (MVSTORE_UNLIKELY(!WriteAllowed(/*check_sink=*/false))) {
+    return Status::ReadOnly();
+  }
   Status s = txn->mv != nullptr
                  ? mv_->Delete(txn->mv, table_id, index_id, key)
                  : sv_->Delete(txn->sv, table_id, index_id, key);

@@ -17,6 +17,7 @@
 // caller simply retries with a fresh transaction.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -87,10 +88,11 @@ struct DatabaseOptions {
   /// Memory subsystem (src/mem/): recycle version slots through per-table
   /// slab allocators and transaction objects through pools, integrated with
   /// epoch reclamation. Default on; turn off to route every allocation
-  /// through the global heap (ASan-style debugging, leak triage). TSan
-  /// builds default off (common/port.h) -- recycling hides object lifetimes
-  /// from the race detector; tests that target the slabs opt back in.
-  bool use_slab_allocator = !kTsanBuild;
+  /// through the global heap (ASan-style debugging, leak triage). Sanitizer
+  /// builds (TSan/ASan) default off (common/port.h) -- recycling hides
+  /// object lifetimes from the tools; tests that target the slabs opt back
+  /// in.
+  bool use_slab_allocator = !kSanitizerBuild;
 };
 
 /// Opaque transaction handle; owned by the Database between Begin and
@@ -208,10 +210,25 @@ class Database {
   Logger& logger();
 
   /// Health of the log sink: OK, or Internal once an open/write failure has
-  /// dropped bytes (also surfaced on stderr at construction). A database
-  /// whose log sink is broken keeps serving transactions but cannot promise
-  /// durability.
+  /// dropped bytes (also surfaced on stderr at construction). Commit turns a
+  /// broken sink into read-only mode (below) the moment a write transaction
+  /// trips over it.
   Status log_status() { return logger().sink_status(); }
+
+  /// True once the database has degraded to read-only mode: a log write or
+  /// fsync failed, so write durability can no longer be promised. Writes are
+  /// refused with Status::ReadOnly(); reads, scans, stats and read-only
+  /// procedures keep serving. The mode is sticky for the life of the
+  /// process — recovery from the durable state (restart + Database::Open) is
+  /// the only exit (docs/RELIABILITY.md has the operator runbook).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Force read-only mode (first transition logs `why` to stderr and bumps
+  /// the read_only_transitions counter). Called internally on log failure;
+  /// public so operators/tests can fence writes deliberately.
+  void EnterReadOnlyMode(const char* why);
 
   /// Write a checkpoint to options.checkpoint_path (see core/checkpoint.h):
   /// rotate the log, scan every table at a consistent point, atomically
@@ -288,6 +305,14 @@ class Database {
  private:
   /// Release a finished handle back to the pool.
   void ReleaseTxn(Txn* txn) { txn_handle_pool_.Release(txn); }
+
+  /// Gate for write operations: false once read-only (bumping the
+  /// writes_refused counter), flipping the mode on first sight of a broken
+  /// sink. `check_sink` false skips the sink probe (per-op fast path; the
+  /// sink is probed at commit, where durability is actually promised).
+  bool WriteAllowed(bool check_sink);
+
+  std::atomic<bool> read_only_{false};
 
   DatabaseOptions options_;
   std::unique_ptr<MVEngine> mv_;

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "core/checkpoint.h"
 #include "log/log_segment.h"
 
@@ -393,6 +394,9 @@ Status GatherSegmentRecords(Database& db, const RecoveryOptions& options,
       }
       continue;
     }
+    // Injected per-segment read failure (or crash mid-recovery: the next
+    // recovery must start over from the same durable state).
+    if (MVSTORE_FAILPOINT("recovery.segment.scan")) return Status::Internal();
     Status read_status;
     std::vector<uint8_t> bytes = ReadLogFile(seg.path, &read_status);
     if (!read_status.ok()) return Status::Internal();
@@ -424,6 +428,7 @@ Status GatherSegmentRecords(Database& db, const RecoveryOptions& options,
 Status GatherSingleFileRecords(Database& db, const RecoveryOptions& options,
                                std::vector<ParsedLogRecord>* records,
                                RecoveryReport* report) {
+  if (MVSTORE_FAILPOINT("recovery.segment.scan")) return Status::Internal();
   Status read_status;
   std::vector<uint8_t> bytes = ReadLogFile(options.log_path, &read_status);
   if (read_status.code() == Status::Code::kInternal) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/failpoint.h"
+
 namespace mvstore {
 namespace logseg {
 
@@ -97,7 +99,7 @@ void SegmentedLogSink::OpenSegmentLocked(uint64_t seq) {
 
 void SegmentedLogSink::RotateLocked() {
   if (file_ != nullptr) {
-    bool synced = std::fflush(file_) == 0;
+    bool synced = !MVSTORE_FAILPOINT("log.rotate") && std::fflush(file_) == 0;
     if (synced && options_.use_fsync) synced = PortableFsync(file_);
     if (!synced) Fail("flush at rotation");
     std::fclose(file_);
@@ -114,7 +116,14 @@ void SegmentedLogSink::Write(const uint8_t* data, size_t size) {
     RotateLocked();
   }
   if (file_ == nullptr) return;
-  if (std::fwrite(data, 1, size, file_) != size) {
+  if (MVSTORE_FAILPOINT("log.append.partial")) {
+    // Torn-write crash (see FileLogSink::Write): a prefix lands, then death.
+    std::fwrite(data, 1, size / 2, file_);
+    std::fflush(file_);
+    std::_Exit(failpoint::kCrashExitCode);
+  }
+  if (MVSTORE_FAILPOINT("log.append.write") ||
+      std::fwrite(data, 1, size, file_) != size) {
     Fail("fwrite");
     return;
   }
@@ -126,7 +135,8 @@ void SegmentedLogSink::Sync() {
   if (file_ == nullptr) return;
   // See FileLogSink::Sync: buffered-write and device-writeback failures
   // both surface here.
-  bool synced = std::fflush(file_) == 0;
+  bool synced =
+      !MVSTORE_FAILPOINT("log.append.sync") && std::fflush(file_) == 0;
   if (synced && options_.use_fsync) synced = PortableFsync(file_);
   if (!synced) Fail("flush/fsync");
 }
@@ -149,6 +159,9 @@ uint64_t SegmentedLogSink::RemoveSegmentsBelow(uint64_t seq) {
   namespace fs = std::filesystem;
   for (const logseg::SegmentFile& f : logseg::ListSegments(prefix_)) {
     if (f.seq >= seq) break;
+    // Injected unlink failure: the segment stays behind (recovery must
+    // tolerate covered segments that outlive their checkpoint).
+    if (MVSTORE_FAILPOINT("log.segment.remove")) continue;
     std::error_code ec;
     if (fs::remove(f.path, ec) && !ec) {
       ++removed;

@@ -1,5 +1,9 @@
 #include "log/logger.h"
 
+#include <cstdlib>
+
+#include "common/failpoint.h"
+
 #if defined(_WIN32)
 #include <io.h>
 #else
@@ -9,6 +13,7 @@
 namespace mvstore {
 
 bool PortableFsync(std::FILE* file) {
+  if (MVSTORE_FAILPOINT("log.fsync")) return false;
 #if defined(_WIN32)
   return _commit(_fileno(file)) == 0;
 #else
@@ -32,7 +37,15 @@ FileLogSink::FileLogSink(const std::string& path, bool use_fsync,
 
 void FileLogSink::Write(const uint8_t* data, size_t size) {
   if (file_ == nullptr) return;
-  if (std::fwrite(data, 1, size, file_) != size &&
+  if (MVSTORE_FAILPOINT("log.append.partial")) {
+    // Torn-write crash: a prefix of the batch reaches the OS, then the
+    // process dies mid-write. Recovery must detect and truncate the tear.
+    std::fwrite(data, 1, size / 2, file_);
+    std::fflush(file_);
+    std::_Exit(failpoint::kCrashExitCode);
+  }
+  if ((MVSTORE_FAILPOINT("log.append.write") ||
+       std::fwrite(data, 1, size, file_) != size) &&
       !failed_.exchange(true, std::memory_order_acq_rel)) {
     std::fprintf(stderr,
                  "mvstore: log fwrite failed; further commit records will "
@@ -47,7 +60,8 @@ void FileLogSink::Sync() {
   // (ENOSPC), and with use_fsync the page cache can accept what the device
   // then rejects (EIO at writeback); both are dropped durability and must
   // surface.
-  bool synced = std::fflush(file_) == 0;
+  bool synced =
+      !MVSTORE_FAILPOINT("log.append.sync") && std::fflush(file_) == 0;
   if (synced && use_fsync_) synced = PortableFsync(file_);
   if (!synced && !failed_.exchange(true, std::memory_order_acq_rel)) {
     std::fprintf(stderr,

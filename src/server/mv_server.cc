@@ -1,5 +1,6 @@
 #include "server/mv_server.h"
 
+#include "common/failpoint.h"
 #include "server/session.h"
 #include "server/wire.h"
 
@@ -201,6 +202,12 @@ struct MVServer::Impl {
         while (true) {
           int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
           if (fd < 0) break;
+          if (MVSTORE_FAILPOINT("server.accept")) {
+            // Injected accept failure (fd-limit, conntrack drop): the
+            // connection dies before a session exists.
+            ::close(fd);
+            continue;
+          }
           int on = 1;
           ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
           Session* session = core.OpenSession();
@@ -248,6 +255,12 @@ struct MVServer::Impl {
         if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
         if (alive && conn.reading && (events[i].events & EPOLLIN)) {
           while (alive && conn.pending_out() < kOutbufHighWatermark) {
+            if (MVSTORE_FAILPOINT("server.read")) {
+              // Injected read failure: treat the connection as dead, the
+              // same as an ECONNRESET from the kernel.
+              alive = false;
+              break;
+            }
             ssize_t r = ::read(fd, chunk, sizeof(chunk));
             if (r > 0) {
               alive = conn.session->OnBytes(chunk, static_cast<size_t>(r),
@@ -330,6 +343,8 @@ struct MVServer::Impl {
   /// short writes. False on a dead socket.
   bool FlushConn(Worker* w, int fd, Conn& conn) {
     while (conn.outpos < conn.outbuf.size()) {
+      // Injected send failure: dead socket mid-response.
+      if (MVSTORE_FAILPOINT("server.write")) return false;
       ssize_t sent = ::send(fd, conn.outbuf.data() + conn.outpos,
                             conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
       if (sent > 0) {

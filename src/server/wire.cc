@@ -47,7 +47,7 @@ void AppendResponse(std::vector<uint8_t>* out, Opcode opcode,
 }
 
 Status WireToStatus(uint8_t code, uint8_t reason) {
-  if (code > static_cast<uint8_t>(Status::Code::kUnavailable) ||
+  if (code > static_cast<uint8_t>(Status::Code::kTimeout) ||
       reason > static_cast<uint8_t>(AbortReason::kUserRequested)) {
     return Status::Internal();
   }
@@ -66,6 +66,11 @@ Status WireToStatus(uint8_t code, uint8_t reason) {
       return Status::Internal();
     case Status::Code::kUnavailable:
       return Status::Unavailable();
+    case Status::Code::kReadOnly:
+      return Status::ReadOnly();
+    case Status::Code::kTimeout:
+      // Timeouts are client-local; a server never legitimately sends one.
+      return Status::Internal();
   }
   return Status::Internal();
 }

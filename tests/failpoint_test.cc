@@ -1,0 +1,164 @@
+// Failpoint subsystem tests: spec parsing, hit thresholds, one-in-K
+// determinism, delay actions, crash exit codes, and the unarmed fast path.
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace mvstore {
+namespace failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, CompiledInForTestBuilds) {
+  // The test suites are always built with failpoints on; bench builds turn
+  // them off (scripts/bench_report.sh enforces that side).
+  EXPECT_TRUE(CompiledIn());
+}
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(MVSTORE_FAILPOINT("test.unarmed"));
+  }
+  EXPECT_EQ(Hits("test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionFiresAndCountsHits) {
+  Action action;
+  action.kind = ActionKind::kError;
+  Arm("test.err", action);
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.err"));
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.err"));
+  EXPECT_EQ(Hits("test.err"), 2u);
+  // Other sites stay unaffected while one is armed.
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.other"));
+  Disarm("test.err");
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.err"));
+}
+
+TEST_F(FailpointTest, HitThresholdSkipsEarlyEvaluations) {
+  ASSERT_TRUE(ArmSpec("test.hit=error@3"));
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.hit"));  // hit 1
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.hit"));  // hit 2
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.hit"));   // hit 3: fires
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.hit"));   // and keeps firing
+  EXPECT_EQ(Hits("test.hit"), 4u);
+}
+
+TEST_F(FailpointTest, RearmingResetsHitCount) {
+  ASSERT_TRUE(ArmSpec("test.rearm=error@2"));
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.rearm"));
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.rearm"));
+  ASSERT_TRUE(ArmSpec("test.rearm=error@2"));
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.rearm"));  // counts restarted
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.rearm"));
+}
+
+TEST_F(FailpointTest, OneInKIsDeterministicAndRoughlyCalibrated) {
+  std::vector<std::vector<bool>> patterns;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(ArmSpec("test.prob=error%4"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 400; ++i) {
+      fired.push_back(MVSTORE_FAILPOINT("test.prob"));
+    }
+    Disarm("test.prob");
+    int count = 0;
+    for (bool f : fired) count += f ? 1 : 0;
+    // ~1/4 of 400; generous bounds, but never zero and never always.
+    EXPECT_GT(count, 40);
+    EXPECT_LT(count, 260);
+    patterns.push_back(std::move(fired));
+  }
+  EXPECT_EQ(patterns[0], patterns[1]);  // same seed -> same firing pattern
+
+  // An explicit seed changes the stream but stays self-reproducible.
+  Action action;
+  action.kind = ActionKind::kError;
+  action.one_in = 4;
+  action.seed = 123;
+  Arm("test.prob", action);
+  std::vector<bool> seeded;
+  for (int i = 0; i < 400; ++i) {
+    seeded.push_back(MVSTORE_FAILPOINT("test.prob"));
+  }
+  EXPECT_NE(seeded, patterns[0]);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndReturnsFalse) {
+  ASSERT_TRUE(ArmSpec("test.delay=delay(60)"));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.delay"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 50);
+}
+
+TEST_F(FailpointTest, OffActionDisarms) {
+  ASSERT_TRUE(ArmSpec("test.off=error"));
+  EXPECT_TRUE(MVSTORE_FAILPOINT("test.off"));
+  ASSERT_TRUE(ArmSpec("test.off=off"));
+  EXPECT_FALSE(MVSTORE_FAILPOINT("test.off"));
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ArmSpecParsesMultipleClauses) {
+  ASSERT_TRUE(ArmSpec("test.a=error@2;test.b=delay(5);test.c=error%7"));
+  std::vector<std::string> sites = ArmedSites();
+  EXPECT_EQ(sites.size(), 3u);
+  DisarmAll();
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ArmSpecRejectsMalformedSpecs) {
+  const char* bad[] = {
+      "noequals",          "=error",           "site=bogus",
+      "site=error@",       "site=error%",      "site=delay",
+      "site=delay(",       "site=delay(12",    "site=error@12junk",
+      "site=error junk",
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(ArmSpec(spec, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+  // Nothing should be left armed by the failed specs above.
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+#if !defined(_WIN32)
+TEST_F(FailpointTest, CrashActionExitsWithCrashCode) {
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Action action;
+    action.kind = ActionKind::kCrash;
+    action.hit = 2;
+    Arm("test.crash", action);
+    if (MVSTORE_FAILPOINT("test.crash")) _exit(7);  // hit 1: must not fire
+    (void)MVSTORE_FAILPOINT("test.crash");          // hit 2: _Exit(42)
+    _exit(8);                                       // unreachable on success
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), kCrashExitCode);
+}
+#endif
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace mvstore

@@ -2,9 +2,13 @@
 // group commit batching, sync vs async modes (paper Sections 2.4, 5).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "cc/mv_engine.h"
+#include "common/failpoint.h"
+#include "core/database.h"
 #include "log/log_record.h"
 #include "log/logger.h"
 
@@ -312,6 +316,71 @@ TEST(LoggerTest, EngineCommitsProduceRecords) {
 
   engine.logger().FlushAll();
   EXPECT_EQ(engine.logger().records_appended(), 2u);
+}
+
+/// ENOSPC in the middle of a group-commit window (injected at the sink's
+/// sync step via failpoint, replacing the /dev/full trick for the
+/// multi-committer case): every committer parked on the shared flush must
+/// get the failure promptly — no hang on the flushed-LSN wait, and no
+/// spurious success ack for a commit whose bytes never became durable.
+TEST(LoggerTest, EnospcMidGroupCommitWindowFailsAllParkedCommitters) {
+  struct KvRow {
+    uint64_t key;
+    uint64_t value;
+  };
+  failpoint::DisarmAll();
+  const std::string path = ::testing::TempDir() + "/enospc_group.log";
+  std::remove(path.c_str());
+  DatabaseOptions opts;
+  opts.log_mode = LogMode::kSync;
+  opts.log_path = path;
+  opts.fsync_log = true;
+  opts.group_commit_us = 2000;  // wide window: committers park together
+  Database db(opts);
+  TableDef def;
+  def.name = "kv";
+  def.payload_size = sizeof(KvRow);
+  def.indexes.push_back(IndexDef{
+      [](const void* p) { return static_cast<const KvRow*>(p)->key; }, 64,
+      true});
+  TableId table = db.CreateTable(def);
+
+  // Prove the pipe works before breaking it.
+  Txn* seed = db.Begin(IsolationLevel::kReadCommitted);
+  KvRow first{1, 1};
+  ASSERT_TRUE(db.Insert(seed, table, &first).ok());
+  ASSERT_TRUE(db.Commit(seed).ok());
+
+  ASSERT_TRUE(failpoint::ArmSpec("log.append.sync=error"));
+  constexpr int kThreads = 4;
+  std::atomic<int> acked{0};
+  std::atomic<int> failed{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Txn* txn = db.Begin(IsolationLevel::kReadCommitted);
+      KvRow row{100 + static_cast<uint64_t>(t), 1};
+      Status s = db.Insert(txn, table, &row);
+      if (s.ok()) {
+        s = db.Commit(txn);
+      } else if (!s.IsAborted()) {
+        db.Abort(txn);
+      }
+      (s.ok() ? acked : failed).fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(acked.load(), 0);  // no success ack without durability
+  EXPECT_EQ(failed.load(), kThreads);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            20);  // parked committers were released promptly, not hung
+  EXPECT_FALSE(db.log_status().ok());
+  EXPECT_TRUE(db.read_only());
+  std::remove(path.c_str());
 }
 
 }  // namespace

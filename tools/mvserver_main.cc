@@ -10,9 +10,12 @@
 // transactions (plus "tatp.mixed") are registered as whole-txn procedures,
 // so any MVClient can drive the paper's workload with one kCall per
 // transaction. With --log the database is *opened* (recover-then-continue):
-// existing durable state is replayed before serving. SIGINT/SIGTERM drain
-// gracefully: in-flight transactions finish, the log is flushed, then the
-// process exits.
+// existing durable state is replayed before serving. SIGINT and SIGTERM are
+// handled identically: drain gracefully — in-flight transactions finish,
+// the log is flushed — then exit 0. If the shutdown flush cannot promise
+// the log is durable (the sink failed or the database degraded to
+// read-only mode), the exit status is 2 so supervisors notice the data
+// needs attention before a restart (see docs/RELIABILITY.md).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -143,6 +146,17 @@ int main(int argc, char** argv) {
   }
   std::printf("mvserver: draining...\n");
   server.Stop();
+  // Stop() flushed the log; a broken sink or a read-only degradation means
+  // acknowledged state may not all be on disk — make the exit status say so.
+  if (db->options().log_mode != LogMode::kDisabled &&
+      (!db->log_status().ok() || db->read_only())) {
+    std::fprintf(stderr,
+                 "mvserver: shutdown flush FAILED (%s%s); durable state may "
+                 "be behind acknowledged commits\n",
+                 db->log_status().ok() ? "" : "log sink broken",
+                 db->read_only() ? ", database in read-only mode" : "");
+    return 2;
+  }
   std::printf("mvserver: stopped\n");
   return 0;
 }
