@@ -20,19 +20,30 @@
 //   --group_commit_us  log group-commit window (with --log_path)
 //   --log_path PATH    file-backed redo log (default: in-memory sink)
 //   --fsync 0|1        fsync flushed batches (default 0)
+//   --follower 0|1     add the replication read axis (default 0): a live
+//                      log-shipped follower behind the session layer, rows
+//                      comparing pipelined read-only GET throughput served
+//                      by the leader (":fread") vs the follower's
+//                      replayed_ts snapshot (":fread+follower")
 //   --json PATH        machine-readable rows; depth/transport fold into
 //                      the scheme label ("MV/O:p8", "MV/O:p8+tcp")
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
 #include "client/client.h"
 #include "client/tcp_transport.h"
 #include "common/random.h"
+#include "repl/replica.h"
+#include "repl/shipper.h"
 #include "server/loopback.h"
 #include "server/mv_server.h"
 #include "server/server_core.h"
+#include "workload/homogeneous.h"
 #include "workload/tatp.h"
 
 namespace mvstore {
@@ -73,6 +84,50 @@ RunResult RunPoint(const BenchContext& ctx, uint32_t connections,
             } else {
               ++counters.aborted;
             }
+          }
+        }
+      });
+}
+
+// --- follower read axis ------------------------------------------------------
+
+constexpr uint64_t kFollowerRows = 4096;
+
+void DefineFollowerRows(Database& db) {
+  TableDef def;
+  def.name = "rows";
+  def.payload_size = sizeof(workload::Row24);
+  def.indexes.push_back(
+      IndexDef{&workload::Row24Key, kFollowerRows, /*unique=*/true});
+  db.CreateTable(std::move(def));
+}
+
+/// Pipelined read-only GET batches through a session transport: one Begin +
+/// `depth` GETs + Commit per flush; committed counts read transactions.
+RunResult RunReadPoint(Transport& transport, uint32_t depth,
+                       uint32_t connections, double seconds) {
+  return RunFixedDuration(
+      connections, seconds,
+      [&](uint32_t tid, std::atomic<bool>& stop, WorkerCounters& counters) {
+        Status status;
+        auto conn = transport.Connect(&status);
+        if (conn == nullptr) return;
+        MVClient client(std::move(conn));
+        Random rng(0xF0110 + tid);
+        std::vector<WireResult> results;
+        while (!stop.load(std::memory_order_relaxed) && client.connected()) {
+          client.QueueBegin(IsolationLevel::kReadCommitted,
+                            /*read_only=*/true);
+          for (uint32_t i = 0; i < depth; ++i) {
+            client.QueueGet(0, 0, rng.Uniform(kFollowerRows));
+          }
+          client.QueueCommit();
+          results.clear();
+          if (!client.FlushBatch(&results).ok()) break;
+          if (!results.empty() && results.back().status.ok()) {
+            ++counters.committed;
+          } else {
+            ++counters.aborted;
           }
         }
       });
@@ -166,6 +221,85 @@ int main(int argc, char** argv) {
         json.AddRow(label, conns, r.tps(), r.aborted);
       }
       server.Stop();
+    }
+
+    // --- follower read rows ---
+    if (flags.GetUint("follower", 0) != 0) {
+#if !defined(__linux__)
+      std::printf("(follower rows skipped: replication is Linux-only)\n");
+#else
+      const std::string dir =
+          (std::filesystem::temp_directory_path() / "mvstore_server_bench_repl")
+              .string();
+      std::filesystem::remove_all(dir);
+      std::filesystem::create_directories(dir + "/leader");
+      std::filesystem::create_directories(dir + "/follower");
+      DatabaseOptions lopts;
+      lopts.scheme = scheme;
+      lopts.log_mode = LogMode::kAsync;
+      lopts.log_path = dir + "/leader/wal";
+      lopts.log_segment_bytes = 1 << 20;
+      lopts.checkpoint_path = dir + "/leader/ckpt";
+      Status st;
+      auto leader = Database::Open(lopts, DefineFollowerRows, &st);
+      if (leader == nullptr) {
+        std::printf("(follower rows skipped: %s)\n", st.ToString().c_str());
+        continue;
+      }
+      for (uint64_t k = 0; k < kFollowerRows; ++k) {
+        Txn* txn = leader->Begin(IsolationLevel::kReadCommitted);
+        workload::Row24 row{k, k * 10, 0};
+        leader->Insert(txn, 0, &row);
+        leader->Commit(txn);
+      }
+      ReplShipper shipper(*leader);
+      std::unique_ptr<Replica> replica;
+      if (shipper.Start().ok()) {
+        ReplicaOptions ropts;
+        ropts.db = lopts;
+        ropts.db.log_path = dir + "/follower/wal";
+        ropts.db.checkpoint_path = dir + "/follower/ckpt";
+        ropts.define_schema = DefineFollowerRows;
+        ropts.leader_port = shipper.port();
+        replica = Replica::Open(ropts, &st);
+      }
+      const Timestamp target = leader->LastCommitTimestamp();
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (replica != nullptr && replica->replayed_ts() < target &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (replica == nullptr || replica->replayed_ts() < target) {
+        std::printf("(follower rows skipped: follower never caught up)\n");
+      } else {
+        ServerCore lcore(*leader, core_opts);
+        LoopbackTransport ltrans(lcore);
+        ServerCore fcore(replica->db(), core_opts);
+        fcore.SetReplica(replica.get());
+        LoopbackTransport ftrans(fcore);
+        for (uint32_t conns : ThreadSweep(max_threads)) {
+          RunResult lr = RunReadPoint(ltrans, ctx.depth, conns, seconds);
+          std::string llabel = SchemeLabel(scheme, opts) + ":fread";
+          std::printf("%-14s %-10s %12u %12.0f %10llu\n", llabel.c_str(),
+                      "loopback", conns, lr.tps(),
+                      static_cast<unsigned long long>(lr.aborted));
+          json.AddRow(llabel, conns, lr.tps(), lr.aborted);
+          RunResult fr = RunReadPoint(ftrans, ctx.depth, conns, seconds);
+          std::string flabel = SchemeLabel(scheme, opts) + ":fread+follower";
+          std::printf("%-14s %-10s %12u %12.0f %10llu\n", flabel.c_str(),
+                      "loopback", conns, fr.tps(),
+                      static_cast<unsigned long long>(fr.aborted));
+          json.AddRow(flabel, conns, fr.tps(), fr.aborted);
+        }
+        fcore.SetReplica(nullptr);
+      }
+      if (replica != nullptr) replica->Stop();
+      replica.reset();
+      shipper.Stop();
+      leader.reset();
+      std::filesystem::remove_all(dir);
+#endif
     }
   }
   return 0;

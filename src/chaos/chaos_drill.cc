@@ -1,5 +1,7 @@
 #include "chaos/chaos_drill.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -11,6 +13,9 @@
 
 #include "common/failpoint.h"
 #include "core/database.h"
+#include "log/log_segment.h"
+#include "repl/replica.h"
+#include "repl/shipper.h"
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -91,6 +96,32 @@ DatabaseOptions MakeDbOptions(const DrillOptions& options) {
   return db;
 }
 
+/// The follower's mirror lives under dir/follower with the same durability
+/// configuration as the leader.
+DatabaseOptions MakeFollowerDbOptions(const DrillOptions& options) {
+  DatabaseOptions db = MakeDbOptions(options);
+  db.log_path = options.dir + "/follower/wal";
+  db.checkpoint_path = options.dir + "/follower/ckpt";
+  return db;
+}
+
+std::string MarkerPath(const DrillOptions& options) {
+  return options.dir + "/attached";
+}
+
+/// Raw write(2) + close, like the ack file: the marker must survive
+/// std::_Exit. Its existence means "the follower attached to the live
+/// stream at least once this cycle" — from the moment of attach the
+/// follower holds the leader's full durable prefix, and every later
+/// acknowledged commit blocked on the follower's ack, so marker-present
+/// implies the whole acked set is follower-durable.
+void WriteMarker(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  [[maybe_unused]] ssize_t n = ::write(fd, "1", 1);
+  ::close(fd);
+}
+
 // The crash menu. Hit counts are drawn from [min_hit, min_hit + span) so
 // the child dies at a different depth every cycle. log.append.partial is an
 // ERROR action because the site itself tears the record and exits — the
@@ -110,8 +141,16 @@ constexpr CrashSite kCrashSites[] = {
     {"log.rotate", failpoint::ActionKind::kCrash, 1, 6},
     {"checkpoint.write", failpoint::ActionKind::kCrash, 1, 3},
     {"checkpoint.rename", failpoint::ActionKind::kCrash, 1, 3},
+    // repl-mode extras (the parent only draws these when options.repl):
+    // die mid-segment-ship / mid-tail-send on the leader, and mid-tail-batch
+    // on the follower. The child hosts both, so the kill takes the pair
+    // down together — exactly the whole-box failure a failover drill models.
+    {"repl.ship.send", failpoint::ActionKind::kCrash, 1, 60},
+    {"repl.tail.recv", failpoint::ActionKind::kCrash, 1, 60},
 };
 constexpr size_t kNumCrashSites = sizeof(kCrashSites) / sizeof(kCrashSites[0]);
+/// Sites [0, kNumBaseSites) apply always; the tail is repl-mode only.
+constexpr size_t kNumBaseSites = kNumCrashSites - 2;
 
 // Record an acknowledged commit. Raw write(2) + O_APPEND: no stdio buffer
 // to lose when the process exits via std::_Exit, and the mutex keeps
@@ -171,6 +210,35 @@ void Worker(Database* db, int ack_fd, std::mutex* ack_mu, uint64_t seed,
   }
 }
 
+/// Open (or, when the local mirror is stale/unusable, wipe and re-seed) the
+/// in-child follower. Re-seeding deletes the attach marker first so a
+/// marker can only ever refer to the follower state that survives.
+std::unique_ptr<Replica> OpenChildReplica(const DrillOptions& options,
+                                          const DatabaseOptions& follower_db,
+                                          uint16_t leader_port,
+                                          bool allow_wipe) {
+  ReplicaOptions ropts;
+  ropts.db = follower_db;
+  ropts.define_schema = DefineSchema;
+  ropts.leader_port = leader_port;
+  ropts.reconnect_ms = 20;
+  const std::string marker = MarkerPath(options);
+  ropts.on_first_attach = [marker] { WriteMarker(marker); };
+  Status st;
+  auto replica = Replica::Open(ropts, &st);
+  if (replica == nullptr && allow_wipe) {
+    // Local recovery refused the mirror (e.g. a bootstrap died between
+    // checkpoint rename and segment pull, leaving a coverage gap): re-seed
+    // from scratch, which exercises the checkpoint-ship bootstrap.
+    std::error_code ec;
+    std::filesystem::remove(marker, ec);
+    std::filesystem::remove_all(options.dir + "/follower", ec);
+    std::filesystem::create_directories(options.dir + "/follower", ec);
+    replica = Replica::Open(ropts, &st);
+  }
+  return replica;
+}
+
 [[noreturn]] void RunChild(const DrillOptions& options,
                            const DatabaseOptions& db_options,
                            const CrashSite& site, uint32_t hit,
@@ -182,6 +250,21 @@ void Worker(Database* db, int ack_fd, std::mutex* ack_mu, uint64_t seed,
   Status open_status;
   auto db = Database::Open(db_options, DefineSchema, &open_status);
   if (db == nullptr) std::_Exit(3);
+
+  std::unique_ptr<ReplShipper> shipper;
+  std::unique_ptr<Replica> replica;
+  if (options.repl) {
+    ShipperOptions sopts;
+    // Never drop a laggard inside the drill: the zero-acked-loss claim is
+    // only provable while every ack is follower-coupled.
+    sopts.ack_timeout_ms = 120000;
+    shipper = std::make_unique<ReplShipper>(*db, sopts);
+    if (!shipper->Start().ok()) std::_Exit(6);
+    replica = OpenChildReplica(options, MakeFollowerDbOptions(options),
+                               shipper->port(), /*allow_wipe=*/true);
+    if (replica == nullptr) std::_Exit(7);
+  }
+
   int ack_fd = ::open((options.dir + "/acks.bin").c_str(),
                       O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (ack_fd < 0) std::_Exit(4);
@@ -194,10 +277,79 @@ void Worker(Database* db, int ack_fd, std::mutex* ack_mu, uint64_t seed,
                          SplitMix(seed ^ (t + 1)), options.txns_per_cycle,
                          t == 0, &failed);
   }
+  // Monitor: a follower parked in failed() (e.g. the leader truncated past
+  // its position before it could attach) is wiped and re-seeded fresh
+  // mid-run — which exercises the checkpoint-ship bootstrap under load.
+  std::atomic<bool> workers_done{false};
+  std::thread monitor;
+  if (replica != nullptr) {
+    monitor = std::thread([&] {
+      while (!workers_done.load(std::memory_order_acquire)) {
+        if (replica != nullptr && replica->failed()) {
+          replica.reset();
+          std::error_code ec;
+          std::filesystem::remove(MarkerPath(options), ec);
+          std::filesystem::remove_all(options.dir + "/follower", ec);
+          std::filesystem::create_directories(options.dir + "/follower", ec);
+          replica = OpenChildReplica(options, MakeFollowerDbOptions(options),
+                                     shipper->port(), /*allow_wipe=*/false);
+          if (replica == nullptr) return;  // leader-only for the rest
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
   for (auto& th : threads) th.join();
+  workers_done.store(true, std::memory_order_release);
+  if (monitor.joinable()) monitor.join();
   ::close(ack_fd);
+  replica.reset();  // close the stream before the shipper goes down
+  shipper.reset();
   db.reset();  // clean shutdown: join background threads, flush the log
   std::_Exit(failed.load() ? 5 : 0);
+}
+
+/// Divergence check on the raw files, before any recovery touches them:
+/// every mirrored segment the leader also still has must be a byte prefix
+/// of (or identical to) the leader's — the follower may be shorter (bytes
+/// it had not received when the box died) but never different.
+bool MirrorIsPrefix(const std::string& leader_prefix,
+                    const std::string& follower_prefix, std::string* failure) {
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  const std::vector<logseg::SegmentFile> leader =
+      logseg::ListSegments(leader_prefix);
+  char msg[160];
+  for (const logseg::SegmentFile& f :
+       logseg::ListSegments(follower_prefix)) {
+    const logseg::SegmentFile* match = nullptr;
+    for (const logseg::SegmentFile& l : leader) {
+      if (l.seq == f.seq) {
+        match = &l;
+        break;
+      }
+    }
+    // The leader may have truncated (checkpoint) a segment the follower
+    // still holds; the follower never holds a segment the leader has not
+    // yet created.
+    if (match == nullptr) continue;
+    const std::vector<char> fb = read_file(f.path);
+    const std::vector<char> lb = read_file(match->path);
+    if (fb.size() > lb.size() ||
+        std::memcmp(fb.data(), lb.data(), fb.size()) != 0) {
+      std::snprintf(msg, sizeof(msg),
+                    "follower segment %llu diverged from leader "
+                    "(follower %zu bytes, leader %zu bytes)",
+                    static_cast<unsigned long long>(f.seq), fb.size(),
+                    lb.size());
+      *failure = msg;
+      return false;
+    }
+  }
+  return true;
 }
 
 bool LoadAcks(const std::string& path, std::vector<AckRec>* out) {
@@ -292,15 +444,26 @@ Status RunDrill(const DrillOptions& options, DrillReport* report) {
   if (ec) return Status::Internal();
 
   const DatabaseOptions db_options = MakeDbOptions(options);
+  const DatabaseOptions follower_db = MakeFollowerDbOptions(options);
+  if (options.repl) {
+    std::filesystem::create_directories(options.dir + "/follower", ec);
+    if (ec) return Status::Internal();
+  }
   const std::string ack_path = options.dir + "/acks.bin";
   uint64_t rng = SplitMix(options.seed ^ (static_cast<uint64_t>(options.scheme)
                                           << 32));
   char msg[160];
+  const size_t num_sites = options.repl ? kNumCrashSites : kNumBaseSites;
   for (uint32_t cycle = 0; cycle < options.cycles; ++cycle) {
     rng = Lcg(rng);
-    const CrashSite& site = kCrashSites[(rng >> 33) % kNumCrashSites];
+    const CrashSite& site = kCrashSites[(rng >> 33) % num_sites];
     rng = Lcg(rng);
     const uint32_t hit = site.min_hit + (rng >> 33) % site.span;
+    if (options.repl) {
+      // The marker means "THIS cycle's follower attached"; clear the
+      // previous cycle's before the child runs.
+      std::filesystem::remove(MarkerPath(options), ec);
+    }
 
     pid_t pid = ::fork();
     if (pid < 0) return Status::Internal();
@@ -326,12 +489,39 @@ Status RunDrill(const DrillOptions& options, DrillReport* report) {
 
     uint64_t acked = 0;
     std::string failure;
+    const bool attached =
+        options.repl && std::filesystem::exists(MarkerPath(options));
+    // Divergence check first, on the raw files — recovery truncates torn
+    // tails and would mask a real byte-level disagreement.
+    if (attached &&
+        !MirrorIsPrefix(db_options.log_path, follower_db.log_path,
+                        &failure)) {
+      std::snprintf(msg, sizeof(msg), " [site %s@%u, cycle %u, seed %llu]",
+                    site.site, hit, cycle,
+                    static_cast<unsigned long long>(options.seed));
+      report->failure = failure + msg;
+      return Status::OK();
+    }
     if (!VerifyAcks(db_options, ack_path, &acked, &failure)) {
       std::snprintf(msg, sizeof(msg), " [site %s@%u, cycle %u, seed %llu]",
                     site.site, hit, cycle,
                     static_cast<unsigned long long>(options.seed));
       report->failure = failure + msg;
       return Status::OK();
+    }
+    if (attached) {
+      // The failover claim: the dead leader's acked set is fully present
+      // on the follower's recovered mirror — a promote here loses nothing.
+      uint64_t f_acked = 0;
+      if (!VerifyAcks(follower_db, ack_path, &f_acked, &failure)) {
+        std::snprintf(msg, sizeof(msg),
+                      " [on FOLLOWER; site %s@%u, cycle %u, seed %llu]",
+                      site.site, hit, cycle,
+                      static_cast<unsigned long long>(options.seed));
+        report->failure = failure + msg;
+        return Status::OK();
+      }
+      ++report->follower_verified;
     }
     report->acked_commits = acked;
     ++report->cycles_run;

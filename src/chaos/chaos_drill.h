@@ -49,6 +49,16 @@ struct DrillOptions {
   /// budget exits cleanly, which the drill also accepts).
   uint32_t txns_per_cycle = 1500;
   uint32_t writer_threads = 2;
+  /// Log-shipping failover mode: the child additionally hosts a sync
+  /// ReplShipper on the leader and a live in-process Replica following it
+  /// (mirror under dir/follower). The crash menu gains the repl failpoints
+  /// (repl.ship.send, repl.tail.recv) so the child also dies mid-segment-
+  /// ship and mid-tail-batch. After each crash the parent still verifies
+  /// the leader, and — whenever the follower had attached before the crash
+  /// (an attach marker file survives the kill) — verifies every
+  /// acknowledged commit against the FOLLOWER's recovered mirror too, plus
+  /// checks the mirrored segments are a byte prefix of the leader's.
+  bool repl = false;
 };
 
 struct DrillReport {
@@ -61,6 +71,10 @@ struct DrillReport {
   uint32_t clean_exits = 0;
   /// Acknowledged commits verified present after the final recovery.
   uint64_t acked_commits = 0;
+  /// repl mode only: cycles whose follower had attached before the kill —
+  /// i.e. cycles where the acked set was also proven present on the
+  /// follower's mirror.
+  uint32_t follower_verified = 0;
   /// Empty on success; otherwise the first violated invariant, with the
   /// armed site / cycle / seed baked in for reproduction.
   std::string failure;

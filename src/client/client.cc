@@ -361,6 +361,12 @@ Status MVClient::Stats(std::string* text) {
   return s;
 }
 
+Status MVClient::Promote(bool force) {
+  std::vector<uint8_t> body;
+  wire::Put(&body, static_cast<uint8_t>(force ? 1 : 0));
+  return Roundtrip(Opcode::kReplPromote, body, nullptr, /*idempotent=*/true);
+}
+
 void MVClient::QueuePing() { QueueFrame(Opcode::kPing, {}); }
 
 void MVClient::QueueBegin(IsolationLevel isolation, bool read_only) {

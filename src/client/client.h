@@ -133,6 +133,11 @@ class MVClient {
               std::vector<uint8_t>* result = nullptr);
   /// Server + engine counters as "name=value" lines.
   Status Stats(std::string* text);
+  /// Promote the follower behind this session into a writable leader
+  /// (docs/REPLICATION.md). kUnavailable when it never caught up and
+  /// `force` is false; kInvalidArgument when the server is not a follower.
+  /// Idempotent — promoting a promoted follower is OK.
+  Status Promote(bool force = false);
 
   /// --- pipelined batch API ----------------------------------------------------
 

@@ -1,0 +1,85 @@
+// ReadRouter: route read-only work to follower replicas, writes to the
+// leader.
+//
+// Log-shipping followers (docs/REPLICATION.md) serve snapshot reads at
+// their replayed_ts watermark while refusing writes with kReadOnly, so a
+// client that separates its read-only transactions can fan them out across
+// followers and reserve the leader for writes. The router is deliberately
+// dumb: round-robin over the registered followers, falling back to the
+// leader when a follower is marked unavailable (connection refused, or the
+// follower answered kUnavailable because it never attached). Staleness is
+// the caller's contract — a follower read observes every commit up to its
+// watermark, not necessarily the caller's own latest write through the
+// leader; read-your-own-writes callers use Writer() for those reads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "client/client.h"
+
+namespace mvstore {
+
+class ReadRouter {
+ public:
+  /// Non-owning: every client must outlive the router.
+  explicit ReadRouter(MVClient* leader) : leader_(leader) {}
+
+  void AddFollower(MVClient* follower) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    followers_.push_back(Entry{follower, true});
+  }
+
+  /// All writes — and read-your-own-writes reads — go here.
+  MVClient* Writer() const { return leader_; }
+
+  /// Next read target: round-robin over available followers; the leader
+  /// when every follower is out (reads must keep working with zero
+  /// replicas).
+  MVClient* Reader() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const size_t n = followers_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Entry& e = followers_[next_++ % n];
+      if (e.available) return e.client;
+    }
+    return leader_;
+  }
+
+  /// A read on this follower failed in a way that is not per-transaction
+  /// (connect refused, kUnavailable): stop routing to it.
+  void MarkUnavailable(MVClient* follower) { SetAvailable(follower, false); }
+  /// The follower recovered (e.g. the caller's periodic probe succeeded).
+  void MarkAvailable(MVClient* follower) { SetAvailable(follower, true); }
+
+  size_t available_followers() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t n = 0;
+    for (const Entry& e : followers_) {
+      if (e.available) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    MVClient* client;
+    bool available;
+  };
+
+  void SetAvailable(MVClient* follower, bool available) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (Entry& e : followers_) {
+      if (e.client == follower) e.available = available;
+    }
+  }
+
+  MVClient* const leader_;
+  std::mutex mutex_;
+  std::vector<Entry> followers_;
+  size_t next_ = 0;
+};
+
+}  // namespace mvstore

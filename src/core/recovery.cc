@@ -316,6 +316,56 @@ Status TruncateTornTail(const std::string& path, uint64_t keep) {
   return Status::OK();
 }
 
+/// The shared continuity rule (see ValidateSegmentCoverage in recovery.h):
+/// segments at or above `first_required` must form an unbroken run starting
+/// exactly there. Segments *below* it are checkpoint-covered leftovers
+/// (crash before truncation finished, or a sink that recreated low numbers
+/// after segment loss) and carry no needed records, so they are exempt.
+Status CheckSegmentContinuity(const std::string& log_path,
+                              const std::vector<logseg::SegmentFile>& segments,
+                              uint64_t first_required) {
+  size_t begin_idx = 0;
+  while (begin_idx < segments.size() &&
+         segments[begin_idx].seq < first_required) {
+    ++begin_idx;
+  }
+  if (begin_idx == segments.size()) {
+    if (first_required > 1) {
+      std::fprintf(stderr,
+                   "mvstore: checkpoint for '%s' covers through segment %llu "
+                   "but no segment at or above it survives; refusing "
+                   "recovery that would silently drop the log tail\n",
+                   log_path.c_str(),
+                   static_cast<unsigned long long>(first_required));
+      return Status::Internal();
+    }
+    return Status::OK();  // no log yet: nothing to replay
+  }
+  if (segments[begin_idx].seq != first_required) {
+    std::fprintf(stderr,
+                 "mvstore: log '%s' starts at segment %llu but nothing "
+                 "covers segments %llu..%llu (missing checkpoint or deleted "
+                 "segments); refusing partial recovery\n",
+                 log_path.c_str(),
+                 static_cast<unsigned long long>(segments[begin_idx].seq),
+                 static_cast<unsigned long long>(first_required),
+                 static_cast<unsigned long long>(segments[begin_idx].seq - 1));
+    return Status::Internal();
+  }
+  for (size_t i = begin_idx + 1; i < segments.size(); ++i) {
+    if (segments[i].seq != segments[i - 1].seq + 1) {
+      std::fprintf(stderr,
+                   "mvstore: log '%s' has a gap: segment %llu is followed "
+                   "by %llu; refusing partial recovery\n",
+                   log_path.c_str(),
+                   static_cast<unsigned long long>(segments[i - 1].seq),
+                   static_cast<unsigned long long>(segments[i].seq));
+      return Status::Internal();
+    }
+  }
+  return Status::OK();
+}
+
 /// Parse every segment of a segmented log in sequence order. Only the
 /// highest-numbered segment may be torn (rotation closes a segment before
 /// opening its successor); a parse failure anywhere else is corruption.
@@ -331,52 +381,11 @@ Status GatherSegmentRecords(Database& db, const RecoveryOptions& options,
                             RecoveryReport* report) {
   const std::vector<logseg::SegmentFile> segments =
       logseg::ListSegments(options.log_path);
-  // The segments at or above `first_required` must form an unbroken run
-  // starting exactly there. Segments *below* it are checkpoint-covered
-  // leftovers (crash before truncation finished, or a sink that recreated
-  // low numbers after segment loss) and carry no needed records, so they
-  // are exempt from the continuity requirement.
   const uint64_t first_required =
       have_checkpoint && covered_seq > 0 ? covered_seq : 1;
-  size_t begin_idx = 0;
-  while (begin_idx < segments.size() &&
-         segments[begin_idx].seq < first_required) {
-    ++begin_idx;
-  }
-  if (begin_idx == segments.size()) {
-    if (first_required > 1) {
-      std::fprintf(stderr,
-                   "mvstore: checkpoint for '%s' covers through segment %llu "
-                   "but no segment at or above it survives; refusing "
-                   "recovery that would silently drop the log tail\n",
-                   options.log_path.c_str(),
-                   static_cast<unsigned long long>(first_required));
-      return Status::Internal();
-    }
-    return Status::OK();  // no log yet: nothing to replay
-  }
-  if (segments[begin_idx].seq != first_required) {
-    std::fprintf(stderr,
-                 "mvstore: log '%s' starts at segment %llu but nothing "
-                 "covers segments %llu..%llu (missing checkpoint or deleted "
-                 "segments); refusing partial recovery\n",
-                 options.log_path.c_str(),
-                 static_cast<unsigned long long>(segments[begin_idx].seq),
-                 static_cast<unsigned long long>(first_required),
-                 static_cast<unsigned long long>(segments[begin_idx].seq - 1));
-    return Status::Internal();
-  }
-  for (size_t i = begin_idx + 1; i < segments.size(); ++i) {
-    if (segments[i].seq != segments[i - 1].seq + 1) {
-      std::fprintf(stderr,
-                   "mvstore: log '%s' has a gap: segment %llu is followed "
-                   "by %llu; refusing partial recovery\n",
-                   options.log_path.c_str(),
-                   static_cast<unsigned long long>(segments[i - 1].seq),
-                   static_cast<unsigned long long>(segments[i].seq));
-      return Status::Internal();
-    }
-  }
+  Status continuity =
+      CheckSegmentContinuity(options.log_path, segments, first_required);
+  if (!continuity.ok()) return continuity;
   for (size_t i = 0; i < segments.size(); ++i) {
     const logseg::SegmentFile& seg = segments[i];
     const bool last = i + 1 == segments.size();
@@ -448,26 +457,46 @@ Status GatherSingleFileRecords(Database& db, const RecoveryOptions& options,
 
 }  // namespace
 
+Status ValidateSegmentCoverage(const std::string& log_path,
+                               uint64_t covered_seq) {
+  return CheckSegmentContinuity(log_path, logseg::ListSegments(log_path),
+                                covered_seq > 0 ? covered_seq : 1);
+}
+
 Status RecoverDatabase(Database& db, const RecoveryOptions& options,
                        RecoveryReport* report) {
   RecoveryReport local;
   LoggerPauseGuard pause(db.logger());
 
-  // 1. Checkpoint image, if one exists.
+  // 1. Checkpoint image, if one exists. Probe the header and validate its
+  //    coverage claim against the local segment set BEFORE loading a single
+  //    row: covered_seq arrives inside the checkpoint file (possibly shipped
+  //    from another machine), and a checkpoint paired with a log whose
+  //    covering segments are missing must be refused while the tables are
+  //    still empty — not after half its rows are in.
   Timestamp skip_through_ts = 0;
   uint64_t covered_seq = 0;
   if (!options.checkpoint_path.empty()) {
-    CheckpointInfo info;
-    uint64_t rows = 0;
-    Status s = LoadCheckpoint(db, options.checkpoint_path, &info, &rows);
-    if (s.ok()) {
+    CheckpointInfo probe;
+    Status ps = InspectCheckpoint(options.checkpoint_path, &probe);
+    if (ps.ok()) {
+      if (options.log_segment_bytes > 0 && !options.log_path.empty() &&
+          probe.covered_seq > 0) {
+        Status cs =
+            ValidateSegmentCoverage(options.log_path, probe.covered_seq);
+        if (!cs.ok()) return cs;
+      }
+      CheckpointInfo info;
+      uint64_t rows = 0;
+      Status s = LoadCheckpoint(db, options.checkpoint_path, &info, &rows);
+      if (!s.ok()) return s;
       local.checkpoint_loaded = true;
       local.checkpoint_ts = info.snapshot_ts;
       local.checkpoint_rows = rows;
       skip_through_ts = info.snapshot_ts;
       covered_seq = info.covered_seq;
-    } else if (!s.IsNotFound()) {
-      return s;  // a corrupt checkpoint must not be silently skipped
+    } else if (!ps.IsNotFound()) {
+      return ps;  // a corrupt checkpoint must not be silently skipped
     }
   }
 

@@ -114,6 +114,19 @@ struct RecoveryOptions {
   bool truncate_torn_tail = true;
 };
 
+/// Verify that the local segment set can honor a checkpoint that claims to
+/// cover everything below `covered_seq`: an unbroken run of segment files
+/// must start exactly at `covered_seq` (lower-numbered leftovers are
+/// exempt — they are covered). Internal, with the gap named on stderr,
+/// when it cannot. RecoverDatabase runs this BEFORE loading checkpoint
+/// rows, so a checkpoint whose tail segments are missing (a shipped
+/// checkpoint paired with someone else's log, a deleted middle segment)
+/// is refused before it mutates the database; the replication follower
+/// (src/repl/replica.h) runs the same check against its mirrored segment
+/// set before declaring itself caught up.
+Status ValidateSegmentCoverage(const std::string& log_path,
+                               uint64_t covered_seq);
+
 /// Checkpoint-load + tail-replay into `db` (tables must exist and be
 /// empty). Pauses the logger for the duration — replayed commits are
 /// already in the log and must not be re-appended — and advances the commit

@@ -122,6 +122,7 @@ void SegmentedLogSink::Write(const uint8_t* data, size_t size) {
     std::fflush(file_);
     std::_Exit(failpoint::kCrashExitCode);
   }
+  last_write_ = Position{seq_, segment_size_};
   if (MVSTORE_FAILPOINT("log.append.write") ||
       std::fwrite(data, 1, size, file_) != size) {
     Fail("fwrite");
@@ -146,6 +147,93 @@ uint64_t SegmentedLogSink::current_seq() const {
   return seq_;
 }
 
+SegmentedLogSink::Position SegmentedLogSink::current_pos() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return Position{seq_, segment_size_};
+}
+
+SegmentedLogSink::Position SegmentedLogSink::last_write_pos() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return last_write_;
+}
+
+Status SegmentedLogSink::MirrorAppend(uint64_t seq, uint64_t offset,
+                                      const uint8_t* data, size_t size,
+                                      bool sync) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (failed_.load(std::memory_order_acquire)) return Status::Internal();
+  if (seq > seq_) {
+    // The leader rotated: seal the local segment and open the leader's
+    // sequence number directly (may skip numbers after a re-seed; local
+    // OpenSegmentLocked writes the same 16-byte header the leader wrote,
+    // so mirrored segments stay byte-identical).
+    if (file_ != nullptr) {
+      bool synced = std::fflush(file_) == 0;
+      if (synced && options_.use_fsync) synced = PortableFsync(file_);
+      if (!synced) {
+        Fail("mirror flush at rotation");
+        return Status::Internal();
+      }
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    OpenSegmentLocked(seq);
+    if (stats_ != nullptr) stats_->Add(Stat::kLogSegmentsRotated);
+  }
+  if (file_ == nullptr) return Status::Internal();
+  if (seq != seq_ || offset != segment_size_) {
+    // Not the next byte of the local stream: the mirror and the leader
+    // disagree about where we are. Never write — a silent gap or overwrite
+    // here is exactly the divergence this subsystem must rule out.
+    return Status::InvalidArgument();
+  }
+  last_write_ = Position{seq_, segment_size_};
+  if (std::fwrite(data, 1, size, file_) != size) {
+    Fail("mirror fwrite");
+    return Status::Internal();
+  }
+  segment_size_ += size;
+  if (sync) {
+    bool synced = std::fflush(file_) == 0;
+    if (synced && options_.use_fsync) synced = PortableFsync(file_);
+    if (!synced) {
+      Fail("mirror flush/fsync");
+      return Status::Internal();
+    }
+  }
+  return Status::OK();
+}
+
+void SegmentedLogSink::SetRetainFloor(uint64_t seq) {
+  retain_floor_.store(seq, std::memory_order_release);
+}
+
+Status SegmentedLogSink::TruncateActiveTail(uint64_t bytes) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (bytes == 0) return Status::OK();
+  if (file_ == nullptr || failed_.load(std::memory_order_acquire)) {
+    return Status::Internal();
+  }
+  if (segment_size_ < logseg::kHeaderSize + bytes) {
+    return Status::InvalidArgument();
+  }
+  if (std::fflush(file_) != 0) {
+    Fail("flush before tail truncation");
+    return Status::Internal();
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(logseg::SegmentPath(prefix_, seq_),
+                               segment_size_ - bytes, ec);
+  if (ec) {
+    Fail("tail truncation");
+    return Status::Internal();
+  }
+  // The stream stays open in append mode, so the next write lands at the
+  // new, shorter end (POSIX O_APPEND re-seeks per write).
+  segment_size_ -= bytes;
+  return Status::OK();
+}
+
 uint64_t SegmentedLogSink::Rotate() {
   std::lock_guard<std::mutex> guard(mutex_);
   RotateLocked();
@@ -155,6 +243,10 @@ uint64_t SegmentedLogSink::Rotate() {
 uint64_t SegmentedLogSink::RemoveSegmentsBelow(uint64_t seq) {
   // Listing and unlinking need no lock: Rotate only ever creates files with
   // *larger* sequence numbers, so the set below `seq` is stable.
+  // A bootstrapping follower may still be pulling covered segments; the
+  // retain floor keeps them until its stream attaches (SetRetainFloor).
+  const uint64_t floor = retain_floor_.load(std::memory_order_acquire);
+  if (floor > 0 && floor < seq) seq = floor;
   uint64_t removed = 0;
   namespace fs = std::filesystem;
   for (const logseg::SegmentFile& f : logseg::ListSegments(prefix_)) {

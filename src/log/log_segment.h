@@ -75,8 +75,53 @@ class SegmentedLogSink : public LogSink {
                                                    : Status::OK();
   }
 
+  /// A byte position in the segment stream: segment sequence number plus
+  /// offset within that segment file (header included). Ordered
+  /// lexicographically.
+  struct Position {
+    uint64_t seq = 0;
+    uint64_t offset = 0;
+    bool operator<(const Position& o) const {
+      return seq != o.seq ? seq < o.seq : offset < o.offset;
+    }
+    bool operator==(const Position& o) const {
+      return seq == o.seq && offset == o.offset;
+    }
+  };
+
   /// Sequence number of the segment currently receiving appends.
   uint64_t current_seq() const;
+
+  /// End of everything written so far: {current segment, its size}. The log
+  /// shipper reads this under the same lock Write advances it under, so a
+  /// stream attached at current_pos() misses nothing.
+  Position current_pos() const;
+
+  /// Where the most recent Write landed: {segment, offset of the batch's
+  /// first byte}. Stable until the next Write (rotation does not move it),
+  /// which is what lets the post-flush CommitObserver name the batch it was
+  /// just handed.
+  Position last_write_pos() const;
+
+  /// Follower-side mirror append: write `size` bytes at exactly
+  /// (seq, offset) of the local segment stream, creating segment `seq`
+  /// (header included — headers are byte-identical across replicas) when
+  /// `seq` is ahead of the current segment. Returns InvalidArgument when
+  /// the position does not extend the local stream contiguously (the mirror
+  /// desynced from the leader) and Internal on I/O failure. `sync` forces
+  /// the bytes down per Options::use_fsync before returning.
+  Status MirrorAppend(uint64_t seq, uint64_t offset, const uint8_t* data,
+                      size_t size, bool sync);
+
+  /// Keep segments >= `seq` alive through RemoveSegmentsBelow (a follower
+  /// is bootstrapping from them); 0 lifts the floor. The shipper owns this.
+  void SetRetainFloor(uint64_t seq);
+
+  /// Cut the last `bytes` bytes off the active segment — the promote path's
+  /// seal: a partial record mirrored before the leader died is dropped
+  /// exactly as crash recovery truncates a torn tail. InvalidArgument when
+  /// the cut would reach into the segment header.
+  Status TruncateActiveTail(uint64_t bytes);
 
   /// Close the current segment and open the next one. Returns the new
   /// segment's sequence number; every record flushed before this call lives
@@ -104,6 +149,8 @@ class SegmentedLogSink : public LogSink {
   std::FILE* file_ = nullptr;
   uint64_t seq_ = 0;
   uint64_t segment_size_ = 0;  // bytes in the current segment, header included
+  Position last_write_{0, 0};  // where the latest Write/MirrorAppend began
+  std::atomic<uint64_t> retain_floor_{0};
   std::atomic<bool> failed_{false};
 };
 

@@ -94,11 +94,22 @@ Logger::~Logger() {
   if (!buffer_.empty() && sink_ != nullptr) {
     sink_->Write(buffer_.data(), buffer_.size());
     sink_->Sync();
+    NotifyObserver(buffer_.data(), buffer_.size());
     if (stats_ != nullptr) {
       stats_->Add(Stat::kLogGroupCommits);
       stats_->Add(Stat::kLogGroupSizeSum, buffer_records_);
     }
   }
+}
+
+void Logger::SetCommitObserver(CommitObserver* obs) {
+  std::lock_guard<std::mutex> guard(observer_mutex_);
+  observer_ = obs;
+}
+
+void Logger::NotifyObserver(const uint8_t* data, size_t size) {
+  std::lock_guard<std::mutex> guard(observer_mutex_);
+  if (observer_ != nullptr) observer_->OnFlushedBatch(data, size);
 }
 
 void Logger::Append(const std::vector<uint8_t>& record) {
@@ -159,6 +170,7 @@ void Logger::FlusherLoop() {
     if (!batch.empty()) {
       sink_->Write(batch.data(), batch.size());
       sink_->Sync();
+      NotifyObserver(batch.data(), batch.size());
       if (stats_ != nullptr) {
         stats_->Add(Stat::kLogGroupCommits);
         stats_->Add(Stat::kLogGroupSizeSum, batch_records);

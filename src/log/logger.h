@@ -111,6 +111,19 @@ class MemoryLogSink : public LogSink {
   std::vector<uint8_t> buffer_;
 };
 
+/// Observes every batch the flusher hands to the sink, called AFTER the
+/// sink's Write+Sync but BEFORE kSync committers are released — the hook a
+/// log shipper (src/repl/) uses to make "commit acknowledged" imply
+/// "follower has the bytes": a synchronous shipper blocks inside
+/// OnFlushedBatch until its followers acknowledge, and only then does the
+/// flusher advance flushed_lsn_ and wake committers.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+  /// `data`/`size` is the exact byte range just written to the sink.
+  virtual void OnFlushedBatch(const uint8_t* data, size_t size) = 0;
+};
+
 class Logger {
  public:
   /// Logger takes ownership of `sink` (must be non-null unless kDisabled).
@@ -150,6 +163,12 @@ class Logger {
     return replay_paused_.load(std::memory_order_relaxed);
   }
 
+  /// Install (or clear, with nullptr) the post-flush observer. Serialized
+  /// against in-flight OnFlushedBatch calls: when SetCommitObserver returns,
+  /// the previous observer will never be called again and may be destroyed.
+  /// `obs` is not owned and must be cleared before it dies.
+  void SetCommitObserver(CommitObserver* obs);
+
   /// The sink, or nullptr when kDisabled. The logger stays the owner.
   LogSink* sink() { return sink_.get(); }
   /// Health of the sink (OK when disabled): Internal after an open or write
@@ -164,6 +183,7 @@ class Logger {
 
  private:
   void FlusherLoop();
+  void NotifyObserver(const uint8_t* data, size_t size);
 
   const LogMode mode_;
   const uint32_t group_commit_us_;
@@ -181,6 +201,13 @@ class Logger {
   /// Replay pause (see PauseForReplay); written under mutex_. Atomic so the
   /// engines' WriteLog fast-path check needs no lock.
   std::atomic<bool> replay_paused_{false};
+
+  /// Post-flush hook (see CommitObserver). Guarded by its own mutex, not
+  /// mutex_: the flusher holds observer_mutex_ across the callback (which
+  /// may block on follower acknowledgements) while committers keep
+  /// appending under mutex_ undisturbed.
+  std::mutex observer_mutex_;
+  CommitObserver* observer_ = nullptr;
 
   std::atomic<uint64_t> records_{0};
   std::atomic<bool> running_{false};

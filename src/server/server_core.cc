@@ -75,6 +75,12 @@ std::string ServerCore::StatsText() {
   line("frames_rejected", frames_rejected.load(std::memory_order_relaxed));
   line("requests_unavailable",
        requests_unavailable.load(std::memory_order_relaxed));
+  if (ReplicaGate* gate = replica()) {
+    line("repl_follower", 1);
+    line("repl_writable", gate->writable() ? 1 : 0);
+    line("repl_ready", gate->ready() ? 1 : 0);
+    line("repl_replayed_ts", gate->replayed_ts());
+  }
   for (const auto& [name, value] : db_.CounterSnapshot()) {
     out += name;
     out += "=";

@@ -31,6 +31,28 @@ namespace mvstore {
 
 class Session;
 
+/// What the session layer needs to know about a replication follower hosted
+/// behind this server (src/repl/replica.h implements it). While the gate
+/// reports !writable(), sessions refuse writes with kReadOnly and serve
+/// snapshot reads at replayed_ts(); kReplPromote flips the gate to writable
+/// and the server becomes an ordinary leader.
+class ReplicaGate {
+ public:
+  virtual ~ReplicaGate() = default;
+  /// True once Promote() succeeded — writes flow again.
+  virtual bool writable() = 0;
+  /// True once the follower has attached to the leader's live stream at
+  /// least once; before that its tables may be an empty shell, so reads
+  /// are refused kUnavailable rather than served misleadingly fresh.
+  virtual bool ready() = 0;
+  /// Largest leader commit timestamp replayed locally — the published
+  /// staleness watermark follower reads run at.
+  virtual Timestamp replayed_ts() = 0;
+  /// Seal the replicated tail and turn this follower into a writable
+  /// leader. `force` skips the never-attached guard.
+  virtual Status Promote(bool force) = 0;
+};
+
 struct ServerCoreOptions {
   /// Live-session cap; further connects are refused kUnavailable.
   uint32_t max_sessions = 256;
@@ -62,6 +84,15 @@ class ServerCore {
     return draining_.load(std::memory_order_acquire);
   }
 
+  /// Attach / detach the follower gate. The caller keeps ownership and must
+  /// clear the gate (SetReplica(nullptr)) before destroying it.
+  void SetReplica(ReplicaGate* gate) {
+    replica_.store(gate, std::memory_order_release);
+  }
+  ReplicaGate* replica() const {
+    return replica_.load(std::memory_order_acquire);
+  }
+
   uint32_t active_sessions();
   /// Sessions currently holding an open transaction (the drain wait
   /// watches this go to zero).
@@ -86,6 +117,7 @@ class ServerCore {
   Database& db_;
   const ServerCoreOptions options_;
   std::atomic<bool> draining_{false};
+  std::atomic<ReplicaGate*> replica_{nullptr};
 
   std::mutex sessions_mutex_;
   std::unordered_map<Session*, std::unique_ptr<Session>> sessions_;

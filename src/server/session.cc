@@ -106,6 +106,15 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         RespondEmpty(out, frame.opcode, Status::Unavailable());
         return;
       }
+      if (ReplicaGate* gate = core_.replica();
+          gate != nullptr && !gate->writable() && !gate->ready()) {
+        // A follower that never caught up would serve an empty (or
+        // arbitrarily stale) shell as if it were data; refuse until the
+        // first attach published a real watermark.
+        core_.requests_unavailable.fetch_add(1, std::memory_order_relaxed);
+        RespondEmpty(out, frame.opcode, Status::Unavailable());
+        return;
+      }
       isolation_ = static_cast<IsolationLevel>(iso_byte);
       txn_ = db_.Begin(isolation_, read_only != 0);
       RespondEmpty(out, frame.opcode, Status::OK());
@@ -159,6 +168,7 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         RespondEmpty(out, frame.opcode, Status::InvalidArgument());
         return;
       }
+      if (RefuseWrite(frame, out)) return;
       Status s = db_.Insert(txn_, table, body.rest());
       if (s.IsAborted()) txn_ = nullptr;
       RespondEmpty(out, frame.opcode, s);
@@ -175,6 +185,7 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         RespondEmpty(out, frame.opcode, Status::InvalidArgument());
         return;
       }
+      if (RefuseWrite(frame, out)) return;
       const uint8_t* payload = body.rest();
       const uint32_t size = db_.PayloadSize(table);
       Status s = db_.Update(txn_, table, index, key, [&](void* p) {
@@ -195,6 +206,7 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         RespondEmpty(out, frame.opcode, Status::InvalidArgument());
         return;
       }
+      if (RefuseWrite(frame, out)) return;
       Status s = db_.Delete(txn_, table, index, key);
       if (s.IsAborted()) txn_ = nullptr;
       RespondEmpty(out, frame.opcode, s);
@@ -250,6 +262,7 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         RespondEmpty(out, frame.opcode, Status::Unavailable());
         return;
       }
+      if (RefuseWrite(frame, out)) return;  // procedures write
       std::vector<uint8_t> result;
       Status s =
           db_.CallProcedure(proc_id, body.rest(), body.remaining(), &result);
@@ -292,8 +305,41 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
       // frame itself was well-formed, so answer and keep the connection.
       RespondEmpty(out, frame.opcode, Status::InvalidArgument());
       return;
+
+    case Opcode::kReplPromote: {
+      uint8_t force = 0;
+      ReplicaGate* gate = core_.replica();
+      if (!body.Read(&force) || gate == nullptr) {
+        // Not a follower (or garbage body): nothing to promote.
+        RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+        return;
+      }
+      RespondEmpty(out, frame.opcode, gate->Promote(force != 0));
+      return;
+    }
+
+    case Opcode::kReplHandshake:
+    case Opcode::kReplCkptChunk:
+    case Opcode::kReplSegChunk:
+    case Opcode::kReplStream:
+    case Opcode::kReplTail:
+    case Opcode::kReplHeartbeat:
+    case Opcode::kReplAck:
+      // Shipper-port opcodes (src/repl/shipper.h); on a session port they
+      // are protocol misuse.
+      RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+      return;
   }
   RespondEmpty(out, frame.opcode, Status::InvalidArgument());
+}
+
+bool Session::RefuseWrite(const Frame& frame, std::vector<uint8_t>* out) {
+  ReplicaGate* gate = core_.replica();
+  if (gate == nullptr || gate->writable()) return false;
+  // Follower: writes are refused kReadOnly but the transaction stays open —
+  // the client can keep reading its snapshot and commit (a no-op commit).
+  RespondEmpty(out, frame.opcode, Status::ReadOnly());
+  return true;
 }
 
 }  // namespace mvstore

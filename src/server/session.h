@@ -50,6 +50,10 @@ class Session {
 
  private:
   void HandleFrame(const wire::Frame& frame, std::vector<uint8_t>* out);
+  /// Follower write gate: when the core's ReplicaGate reports read-only,
+  /// answer kReadOnly (leaving the open transaction usable for reads) and
+  /// return true.
+  bool RefuseWrite(const wire::Frame& frame, std::vector<uint8_t>* out);
 
   Database& db_;
   ServerCore& core_;

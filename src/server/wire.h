@@ -38,6 +38,31 @@
 //   kBye         (server->client only) sent with kFlagFatal before the
 //                server closes a refused or shutting-down connection; its
 //                status explains why (kUnavailable).
+//
+// Replication opcodes (src/repl/, docs/REPLICATION.md). The pull phase
+// (handshake/chunk) is request/response like everything above; after a
+// successful kReplStream attach the connection switches to push mode:
+// the leader sends kReplTail / kReplHeartbeat frames with no response
+// flag and the follower sends kReplAck frames back, neither answered.
+//
+//   kReplHandshake proto (1B) | scheme (1B) | have_state (1B)
+//                  | local_seq (8B) | local_size (8B)
+//                  -> min_seq (8B) | ckpt_present (1B) | ckpt_size (8B)
+//                     | ckpt_covered_seq (8B) | ckpt_snapshot_ts (8B)
+//                     | cur_seq (8B) | cur_size (8B) | last_ts (8B)
+//   kReplCkptChunk offset (8B) | max (4B)   -> total_size (8B) | bytes
+//   kReplSegChunk  seq (8B) | offset (8B) | max (4B)
+//                  -> sealed (1B) | size (8B) | bytes
+//   kReplStream    seq (8B) | offset (8B)
+//                  -> attached (1B) | cur_seq (8B) | cur_size (8B)
+//   kReplTail      (leader->follower push) seq (8B) | offset (8B) | batch
+//   kReplHeartbeat (leader->follower push) cur_seq (8B) | cur_size (8B)
+//                  | last_ts (8B)
+//   kReplAck       (follower->leader push) seq (8B) | offset (8B):
+//                  everything below this position is durable at the follower
+//   kReplPromote   force (1B), to a *follower's session port*: seal the
+//                  replay tail and go writable (kUnavailable when the
+//                  follower never caught up and force is 0).
 #pragma once
 
 #include <cstdint>
@@ -63,8 +88,19 @@ enum class Opcode : uint8_t {
   kResolve,
   kStats,
   kBye,
+  kReplHandshake,
+  kReplCkptChunk,
+  kReplSegChunk,
+  kReplStream,
+  kReplTail,
+  kReplHeartbeat,
+  kReplAck,
+  kReplPromote,
 };
-constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kBye);
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kReplPromote);
+
+/// Replication protocol version carried in kReplHandshake.
+constexpr uint8_t kReplProtoVersion = 1;
 
 constexpr uint8_t kFlagResponse = 0x1;
 /// The sender closes the connection after this frame.

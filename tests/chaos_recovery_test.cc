@@ -67,6 +67,56 @@ TEST_P(ChaosRecoveryTest, AcknowledgedCommitsSurviveRandomCrashes) {
   RecordProperty("crashes", static_cast<int>(total_crashes));
 }
 
+// Leader-kill -> follower-verify cycles: the same drill with a live
+// in-process replica following the leader (DrillOptions::repl). The crash
+// menu gains the repl failpoints (repl.ship.send, repl.tail.recv), and every
+// cycle whose follower had attached also proves the acked set present on
+// the follower's recovered mirror plus byte-prefix agreement of the
+// mirrored segments — the promote-would-lose-nothing invariant. The full
+// promote path (seal + go-writable + serve writes) runs in
+// failover_drill_test (label: repl).
+TEST_P(ChaosRecoveryTest, AcknowledgedCommitsSurviveLeaderKills) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const Scheme scheme = GetParam();
+  // Repl cycles are slower (every commit waits on the follower's fsync):
+  // fewer drills, smaller budgets.
+  const uint32_t drills = (DrillsPerScheme() + 2) / 3;
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("mvstore_chaos_repl_" + std::string(SchemeName(scheme))))
+          .string();
+
+  uint32_t total_crashes = 0;
+  uint32_t total_follower_verified = 0;
+  for (uint32_t i = 0; i < drills; ++i) {
+    chaos::DrillOptions options;
+    options.scheme = scheme;
+    options.repl = true;
+    options.seed = 7000 + i;
+    options.txns_per_cycle = 500;
+    options.dir = base + "-" + std::to_string(options.seed);
+    chaos::DrillReport report;
+    Status s = chaos::RunDrill(options, &report);
+    if (s.IsUnavailable()) GTEST_SKIP() << "fork() unsupported here";
+    ASSERT_TRUE(s.ok()) << "harness error: " << s.ToString();
+    ASSERT_TRUE(report.failure.empty()) << report.failure;
+    EXPECT_EQ(report.cycles_run, options.cycles);
+    total_crashes += report.crashes;
+    total_follower_verified += report.follower_verified;
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+  }
+  EXPECT_GT(total_crashes, 0u) << "no drill crashed; hit counts too high?";
+  // At least one cycle must have made it to attach, or the follower half of
+  // the verification never ran and the test is vacuous.
+  EXPECT_GT(total_follower_verified, 0u)
+      << "no cycle reached follower attach";
+  RecordProperty("follower_verified",
+                 static_cast<int>(total_follower_verified));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSchemes, ChaosRecoveryTest,
                          ::testing::Values(Scheme::kSingleVersion,
                                            Scheme::kMultiVersionLocking,

@@ -543,6 +543,74 @@ TEST_P(CrashRecoveryTest, MissingSegmentOrCheckpointRefusesPartialRecovery) {
   }
 }
 
+// A checkpoint that did not originate locally (log-shipping bootstrap: the
+// file arrives from the leader ahead of its covering segments) carries a
+// covered_seq claim the local directory cannot back. Recovery must
+// revalidate that claim against the LOCAL segment set and refuse while the
+// tables are still empty — trusting the shipped header would silently drop
+// everything the leader logged after the checkpoint.
+TEST_P(CrashRecoveryTest, ShippedCheckpointWithoutCoveringSegmentsRefused) {
+  {
+    auto db = Database::Open(SegmentedOptions(/*segment_bytes=*/1024),
+                             DefineSchema);
+    ASSERT_NE(db, nullptr);
+    for (uint64_t k = 0; k < 150; ++k) {
+      ASSERT_TRUE(InsertRow(*db, k, k).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    for (uint64_t k = 150; k < 200; ++k) {
+      ASSERT_TRUE(InsertRow(*db, k, k).ok());
+    }
+  }
+  const auto segments = logseg::ListSegments(prefix_);
+  ASSERT_GT(segments.front().seq, 1u);
+
+  const std::string shipped_prefix = prefix_ + "_shipped";
+  DatabaseOptions shipped = SegmentedOptions(1024);
+  shipped.log_path = shipped_prefix;
+  shipped.checkpoint_path = shipped_prefix + ".ckpt";
+  fs::copy_file(prefix_ + ".ckpt", shipped.checkpoint_path,
+                fs::copy_options::overwrite_existing);
+
+  // Checkpoint present, segments absent: covered_seq > 1 with no covering
+  // run on disk. Refused before a single row loads.
+  {
+    Status status;
+    auto db = Database::Open(shipped, DefineSchema, &status);
+    EXPECT_EQ(db, nullptr);
+    EXPECT_FALSE(status.ok());
+  }
+  // The sink auto-creates segment 1 on the failed open; a fresh low-numbered
+  // segment still does not satisfy a checkpoint covering a later one.
+  {
+    Status status;
+    auto db = Database::Open(shipped, DefineSchema, &status);
+    EXPECT_EQ(db, nullptr);
+    EXPECT_FALSE(status.ok());
+  }
+  // Ship the covering segments too (discarding the recreated segment 1):
+  // now the claim is backed and recovery yields the full table.
+  for (const auto& seg : logseg::ListSegments(shipped_prefix)) {
+    std::remove(seg.path.c_str());
+  }
+  const std::string base_name = prefix_.substr(prefix_.find_last_of('/') + 1);
+  for (const auto& seg : segments) {
+    const std::string name = seg.path.substr(seg.path.find_last_of('/') + 1);
+    const std::string dest = shipped_prefix + name.substr(base_name.size());
+    fs::copy_file(seg.path, dest, fs::copy_options::overwrite_existing);
+  }
+  {
+    Status status;
+    auto db = Database::Open(shipped, DefineSchema, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
+    EXPECT_EQ(DumpTable(*db).size(), 200u);
+  }
+  std::remove(shipped.checkpoint_path.c_str());
+  for (const auto& seg : logseg::ListSegments(shipped_prefix)) {
+    std::remove(seg.path.c_str());
+  }
+}
+
 TEST_P(CrashRecoveryTest, ListSegmentsAcceptsWidenedSequenceNumbers) {
   // SegmentPath zero-pads to 8 digits but widens beyond 10^8 rotations;
   // the lister must see everything the writer can emit.

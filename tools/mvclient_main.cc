@@ -12,6 +12,10 @@
 //                             print it as hex
 //   bench NAME COUNT [DEPTH]  pipelined procedure-call throughput: COUNT
 //                             calls at DEPTH frames per batch
+//   promote [force]           turn a follower (mvserver --follow) into a
+//                             writable leader; `force` promotes even a
+//                             follower that never attached to its leader
+//                             (accepting whatever it replayed so far)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,7 +38,7 @@ const char* FlagValue(int argc, char** argv, const char* name) {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvclient [--host H] [--port P] "
-               "ping|stats|resolve|call|get|bench ...\n");
+               "ping|stats|resolve|call|get|bench|promote ...\n");
   return 1;
 }
 
@@ -87,6 +91,14 @@ int main(int argc, char** argv) {
 
   if (cmd == "ping") {
     Status s = client.Ping();
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+
+  if (cmd == "promote") {
+    const char* mode = arg_at(1);
+    bool force = mode != nullptr && std::strcmp(mode, "force") == 0;
+    Status s = client.Promote(force);
     std::printf("%s\n", s.ToString().c_str());
     return s.ok() ? 0 : 1;
   }
