@@ -5,6 +5,10 @@
 #   scripts/check.sh              # everything (tier-1, what CI gates on)
 #   scripts/check.sh unit         # fast suites only
 #   scripts/check.sh stress       # only bank_stress_test / tatp_test
+#   scripts/check.sh --static     # static gates only: invariant linter,
+#                                 # clang thread-safety analysis (skips
+#                                 # loudly without clang), and clang-tidy
+#                                 # when installed — no build, no tests
 #
 # Environment overrides:
 #   BUILD_DIR   (default: build)
@@ -17,6 +21,27 @@ BUILD_DIR=${BUILD_DIR:-build}
 BUILD_TYPE=${BUILD_TYPE:-Release}
 LABEL=${1:-}
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+if [ "$LABEL" = "--static" ]; then
+  echo "== invariant linter (self-test, then the tree)"
+  python3 scripts/check_invariants.py --self-test
+  python3 scripts/check_invariants.py
+
+  echo "== clang thread-safety analysis"
+  scripts/check_thread_safety.sh
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (.clang-tidy profile)"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' | xargs -P "$JOBS" -n 4 \
+      clang-tidy -p "$BUILD_DIR" --quiet
+  else
+    echo "SKIP: clang-tidy not installed (CI's clang-tidy job enforces)" >&2
+  fi
+  echo "static checks done"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Clang thread-safety analysis gate.
+#
+# Positive pass: every translation unit under src/ must compile clean under
+#   -Wthread-safety -Werror=thread-safety-analysis
+# so a lock-discipline violation (guarded field touched without its latch,
+# REQUIRES function called without the lock, double acquire, ...) is a hard
+# compile error.
+#
+# Negative pass: every fixture in scripts/tsa_fixtures/ performs an
+# unguarded access through a TsaNegativeProbe friend and MUST FAIL with a
+# thread-safety diagnostic. A fixture that compiles cleanly means someone
+# deleted or defeated a GUARDED_BY/REQUIRES annotation the project relies
+# on — the analysis would silently stop covering that class, so this script
+# treats it as a failure.
+#
+# The annotations expand to nothing under GCC (common/thread_annotations.h
+# gates on __clang__), so this gate needs a clang++. Without one the script
+# SKIPs loudly with exit 0: local GCC-only boxes stay usable, while CI's
+# thread-safety job installs clang and therefore always enforces.
+#
+# Usage: scripts/check_thread_safety.sh
+#   CLANG_CXX=clang++-18 scripts/check_thread_safety.sh   # pick a compiler
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+find_clang() {
+  if [ -n "${CLANG_CXX:-}" ]; then
+    command -v "${CLANG_CXX}" && return 0
+    echo "error: CLANG_CXX='${CLANG_CXX}' not found" >&2
+    return 1
+  fi
+  local candidate
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+CXX="$(find_clang)" || {
+  echo "SKIP: no clang++ found — thread-safety analysis NOT checked." >&2
+  echo "      (GCC compiles the annotations away; install clang or rely" >&2
+  echo "      on CI's thread-safety job for enforcement.)" >&2
+  exit 0
+}
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc -I.
+       -Wthread-safety -Werror=thread-safety-analysis
+       -DMVSTORE_FAILPOINTS_ENABLED=1)
+
+fail=0
+
+echo "== positive: src/ must be clean under -Wthread-safety (${CXX})"
+while IFS= read -r tu; do
+  if ! out="$("${CXX}" "${FLAGS[@]}" "${tu}" 2>&1)"; then
+    echo "FAIL: ${tu}"
+    echo "${out}"
+    fail=1
+  fi
+done < <(find src -name '*.cc' | sort)
+
+echo "== negative: scripts/tsa_fixtures/ must FAIL with thread-safety errors"
+for fixture in scripts/tsa_fixtures/*.cc; do
+  if out="$("${CXX}" "${FLAGS[@]}" "${fixture}" 2>&1)"; then
+    echo "FAIL: ${fixture} compiled cleanly — a GUARDED_BY/REQUIRES the"
+    echo "      fixture exercises has been deleted or defeated."
+    fail=1
+  elif ! grep -q "thread-safety" <<<"${out}"; then
+    echo "FAIL: ${fixture} failed for the wrong reason (not a thread-safety"
+    echo "      diagnostic) — fix the fixture so it isolates the annotation:"
+    echo "${out}"
+    fail=1
+  else
+    echo "ok (rejected as intended): ${fixture}"
+  fi
+done
+
+if [ "${fail}" -ne 0 ]; then
+  echo "thread-safety check FAILED" >&2
+  exit 1
+fi
+echo "thread-safety check passed"

@@ -1,0 +1,27 @@
+// Negative thread-safety fixture: MUST FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety-analysis
+// (scripts/check_thread_safety.sh compiles it and asserts the failure).
+//
+// It reads the Logger's group-commit buffer and LSN bookkeeping without
+// mutex_. If this file ever compiles cleanly under the analysis, the
+// GUARDED_BY(mutex_) annotations on Logger's buffer/LSN fields have been
+// deleted or defeated.
+//
+// Never add this file to the build; it exists only for -fsyntax-only.
+
+#include <cstdint>
+
+#include "log/logger.h"
+
+namespace mvstore {
+
+struct TsaNegativeProbe {
+  static uint64_t UnguardedLoggerRead(Logger& logger) {
+    // No MutexLock on logger.mutex_: both reads below must be rejected.
+    uint64_t n = logger.flushed_lsn_;
+    n += logger.buffer_.size();
+    return n;
+  }
+};
+
+}  // namespace mvstore

@@ -1,0 +1,24 @@
+// Negative thread-safety fixture: MUST FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety-analysis
+// (scripts/check_thread_safety.sh compiles it and asserts the failure).
+//
+// It reads the server's session registry without sessions_mutex_. If this
+// file ever compiles cleanly under the analysis, the GUARDED_BY on
+// ServerCore::sessions_ has been deleted or defeated.
+//
+// Never add this file to the build; it exists only for -fsyntax-only.
+
+#include <cstddef>
+
+#include "server/server_core.h"
+
+namespace mvstore {
+
+struct TsaNegativeProbe {
+  static std::size_t UnguardedSessionsRead(ServerCore& core) {
+    // No MutexLock on core.sessions_mutex_: the read must be rejected.
+    return core.sessions_.size();
+  }
+};
+
+}  // namespace mvstore

@@ -1,0 +1,26 @@
+// Negative thread-safety fixture: MUST FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety-analysis
+// (scripts/check_thread_safety.sh compiles it and asserts the failure).
+//
+// It reads TxnTable's partition map without the partition latch. If this
+// file ever compiles cleanly under the analysis, the GUARDED_BY(latch) on
+// TxnTable::Partition::map has been deleted or defeated — the compile-time
+// lock-discipline guarantee for the transaction table is gone.
+//
+// Never add this file to the build; it exists only for -fsyntax-only.
+
+#include <cstddef>
+
+#include "txn/txn_table.h"
+
+namespace mvstore {
+
+struct TsaNegativeProbe {
+  static std::size_t UnguardedTxnTableRead(TxnTable& table) {
+    // No SpinLatchGuard on partitions_[0].latch: the analysis must reject
+    // this read of the GUARDED_BY(latch) map.
+    return table.partitions_[0].map.size();
+  }
+};
+
+}  // namespace mvstore

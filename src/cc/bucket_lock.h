@@ -60,7 +60,8 @@ class BucketLockTable {
  private:
   struct alignas(kCacheLineSize) Partition {
     SpinLatch latch;
-    std::unordered_map<HashIndex::Bucket*, std::vector<TxnId>> lists;
+    std::unordered_map<HashIndex::Bucket*, std::vector<TxnId>> lists
+        GUARDED_BY(latch);
   };
 
   Partition& PartitionFor(HashIndex::Bucket* bucket) {

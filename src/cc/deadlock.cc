@@ -106,7 +106,7 @@ void DeadlockDetector::Stop() {
 }
 
 uint32_t DeadlockDetector::RunOnce() {
-  std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  MutexLock pass_lock(pass_mutex_);
   EpochGuard guard(epoch_);
 
   // Step 1: nodes = blocked transactions (Section 4.4 step 1). The scratch

@@ -11,12 +11,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "txn/txn_table.h"
 #include "util/epoch.h"
 
@@ -49,15 +49,17 @@ class DeadlockDetector {
   /// Serializes passes (tests may call RunOnce concurrently with the
   /// background thread) and guards the scratch vectors below, which are
   /// reused so the periodic scan is allocation-free in steady state.
-  std::mutex pass_mutex_;
-  std::vector<Transaction*> snapshot_scratch_;
-  std::vector<Transaction*> nodes_scratch_;
-  std::vector<TxnId> waiting_scratch_;
-  std::vector<Version*> locked_scratch_;
-  std::unordered_map<TxnId, uint32_t> node_of_scratch_;
+  Mutex pass_mutex_;
+  std::vector<Transaction*> snapshot_scratch_ GUARDED_BY(pass_mutex_);
+  std::vector<Transaction*> nodes_scratch_ GUARDED_BY(pass_mutex_);
+  std::vector<TxnId> waiting_scratch_ GUARDED_BY(pass_mutex_);
+  std::vector<Version*> locked_scratch_ GUARDED_BY(pass_mutex_);
+  std::unordered_map<TxnId, uint32_t> node_of_scratch_
+      GUARDED_BY(pass_mutex_);
   /// Only the first nodes.size() entries are live each pass; entries are
   /// cleared, not destroyed, so inner capacities survive too.
-  std::vector<std::vector<uint32_t>> adjacency_scratch_;
+  std::vector<std::vector<uint32_t>> adjacency_scratch_
+      GUARDED_BY(pass_mutex_);
 
   std::atomic<bool> running_{false};
   std::thread thread_;

@@ -216,7 +216,13 @@ class MVEngine {
   bool FinishNormalProcessing(Transaction* txn);
 
   /// Optimistic validation: read stability + phantom checks (Section 3.2).
-  Status Validate(Transaction* txn);
+  ///
+  /// NO_THREAD_SAFETY_ANALYSIS: iterates txn->read_set without
+  /// read_set_latch. Safe by protocol — the owner thread is past its last
+  /// AddRead when validation runs, so the latch-free iteration races only
+  /// with the deadlock detector's const walk (both readers); taking the
+  /// latch here would hold it across every visibility check of the commit.
+  Status Validate(Transaction* txn) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Rescan every registered range scan at the end timestamp: a version
   /// visible now but not at begin time is a phantom. Runs inside Validate

@@ -15,10 +15,10 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "client/client.h"
+#include "common/mutex.h"
 
 namespace mvstore {
 
@@ -28,7 +28,7 @@ class ReadRouter {
   explicit ReadRouter(MVClient* leader) : leader_(leader) {}
 
   void AddFollower(MVClient* follower) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     followers_.push_back(Entry{follower, true});
   }
 
@@ -39,7 +39,7 @@ class ReadRouter {
   /// when every follower is out (reads must keep working with zero
   /// replicas).
   MVClient* Reader() {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     const size_t n = followers_.size();
     for (size_t i = 0; i < n; ++i) {
       Entry& e = followers_[next_++ % n];
@@ -55,7 +55,7 @@ class ReadRouter {
   void MarkAvailable(MVClient* follower) { SetAvailable(follower, true); }
 
   size_t available_followers() {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     size_t n = 0;
     for (const Entry& e : followers_) {
       if (e.available) ++n;
@@ -70,16 +70,16 @@ class ReadRouter {
   };
 
   void SetAvailable(MVClient* follower, bool available) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     for (Entry& e : followers_) {
       if (e.client == follower) e.available = available;
     }
   }
 
   MVClient* const leader_;
-  std::mutex mutex_;
-  std::vector<Entry> followers_;
-  size_t next_ = 0;
+  Mutex mutex_;
+  std::vector<Entry> followers_ GUARDED_BY(mutex_);
+  size_t next_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mvstore

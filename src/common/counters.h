@@ -227,7 +227,7 @@ class StatsCollector {
   const uint64_t registry_id_;
   std::atomic<uint32_t> used_cells_{0};
   SpinLatch freelist_latch_;
-  std::vector<uint32_t> free_cells_;
+  std::vector<uint32_t> free_cells_ GUARDED_BY(freelist_latch_);
   std::vector<Cell> cells_;
   Cell retired_{};
   Cell overflow_{};

@@ -3,9 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "common/mutex.h"
 
 namespace mvstore {
 namespace failpoint {
@@ -23,8 +24,8 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteState> sites;
+  Mutex mu;
+  std::unordered_map<std::string, SiteState> sites GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -48,10 +49,9 @@ bool LcgFires(SiteState& state) {
   return (state.rng >> 33) % state.action.one_in == 0;
 }
 
-void PublishCount() {
-  internal::g_armed_sites.store(
-      static_cast<uint32_t>(registry().sites.size()),
-      std::memory_order_release);
+void PublishCount(Registry& reg) REQUIRES(reg.mu) {
+  internal::g_armed_sites.store(static_cast<uint32_t>(reg.sites.size()),
+                                std::memory_order_release);
 }
 
 /// Parse "error", "crash", "delay(12)", "off" with optional "@N" and "%K"
@@ -151,13 +151,13 @@ void Arm(const std::string& site, const Action& action) {
     return;
   }
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   SiteState& state = reg.sites[site];
   state.action = action;
   if (state.action.hit == 0) state.action.hit = 1;
   state.hits = 0;
   state.rng = action.seed != 0 ? action.seed : HashName(site);
-  PublishCount();
+  PublishCount(reg);
 }
 
 bool ArmSpec(const std::string& spec, std::string* error) {
@@ -182,28 +182,28 @@ bool ArmSpec(const std::string& spec, std::string* error) {
 
 void Disarm(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.sites.erase(site);
-  PublishCount();
+  PublishCount(reg);
 }
 
 void DisarmAll() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.sites.clear();
-  PublishCount();
+  PublishCount(reg);
 }
 
 uint64_t Hits(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> ArmedSites() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<std::string> names;
   names.reserve(reg.sites.size());
   for (const auto& entry : reg.sites) names.push_back(entry.first);
@@ -217,7 +217,7 @@ bool EvaluateSlow(const char* site) {
   uint32_t delay_ms = 0;
   {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     auto it = reg.sites.find(site);
     if (it == reg.sites.end()) return false;
     SiteState& state = it->second;

@@ -50,8 +50,25 @@ inline constexpr bool kAsanBuild = false;
 inline constexpr bool kAsanBuild = false;
 #endif
 
-/// Any sanitizer that wants heap-backed object lifetimes.
-inline constexpr bool kSanitizerBuild = kTsanBuild || kAsanBuild;
+/// True in UndefinedBehaviorSanitizer builds. GCC defines no preprocessor
+/// macro for -fsanitize=undefined, so the CMake option MVSTORE_UBSAN injects
+/// MVSTORE_UBSAN_BUILD; Clang is additionally detected via __has_feature.
+#if defined(MVSTORE_UBSAN_BUILD)
+inline constexpr bool kUbsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(undefined_behavior_sanitizer)
+inline constexpr bool kUbsanBuild = true;
+#else
+inline constexpr bool kUbsanBuild = false;
+#endif
+#else
+inline constexpr bool kUbsanBuild = false;
+#endif
+
+/// Any sanitizer that wants heap-backed object lifetimes. UBSan joins so
+/// misaligned/invalid-pointer diagnostics point at real heap objects rather
+/// than recycled slab slots.
+inline constexpr bool kSanitizerBuild = kTsanBuild || kAsanBuild || kUbsanBuild;
 
 /// CPU pause hint for spin loops.
 inline void CpuRelax() {

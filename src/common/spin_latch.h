@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/port.h"
+#include "common/thread_annotations.h"
 
 namespace mvstore {
 
@@ -18,13 +19,17 @@ namespace mvstore {
 /// CAS in and one exchange out. Sleeping (rather than yield-looping)
 /// matters when holder and waiter share a core: a descheduled holder gets
 /// the CPU back immediately instead of after the waiter's burned quantum.
-class SpinLatch {
+///
+/// A capability for Clang's thread-safety analysis: fields the latch
+/// protects carry GUARDED_BY(latch), helpers that expect it held carry
+/// REQUIRES(latch). See docs/STATIC_ANALYSIS.md.
+class CAPABILITY("latch") SpinLatch {
  public:
   SpinLatch() = default;
   SpinLatch(const SpinLatch&) = delete;
   SpinLatch& operator=(const SpinLatch&) = delete;
 
-  void Lock() {
+  void Lock() ACQUIRE() {
     uint32_t expected = 0;
     if (state_.compare_exchange_strong(expected, 1,
                                        std::memory_order_acquire,
@@ -34,18 +39,23 @@ class SpinLatch {
     LockSlow();
   }
 
-  bool TryLock() {
+  bool TryLock() TRY_ACQUIRE(true) {
     uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, 1,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void Unlock() {
+  void Unlock() RELEASE() {
     if (state_.exchange(0, std::memory_order_release) == 2) {
       state_.notify_one();
     }
   }
+
+  /// No-op at runtime; tells the analysis the latch is held on paths where
+  /// the acquisition happened out of its sight (e.g. TryLock in a sibling
+  /// function). Use sparingly; prefer REQUIRES on the helper.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
  private:
   void LockSlow() {
@@ -74,11 +84,13 @@ class SpinLatch {
   std::atomic<uint32_t> state_{0};
 };
 
-/// RAII guard for SpinLatch.
-class SpinLatchGuard {
+/// RAII guard for SpinLatch (scoped capability).
+class SCOPED_CAPABILITY SpinLatchGuard {
  public:
-  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
-  ~SpinLatchGuard() { latch_.Unlock(); }
+  explicit SpinLatchGuard(SpinLatch& latch) ACQUIRE(latch) : latch_(latch) {
+    latch_.Lock();
+  }
+  ~SpinLatchGuard() RELEASE() { latch_.Unlock(); }
   SpinLatchGuard(const SpinLatchGuard&) = delete;
   SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
 

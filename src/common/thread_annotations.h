@@ -1,0 +1,87 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to Clang's capability attributes under Clang and to nothing
+// under every other compiler, so the annotations are zero-cost at runtime
+// and invisible to GCC (which would otherwise reject the unknown attributes
+// under -Werror). The analysis itself runs in the CI `thread-safety` job
+// (scripts/check_thread_safety.sh): a Clang compile of src/ with
+// -Wthread-safety -Werror=thread-safety-analysis, plus negative fixtures
+// that must FAIL to compile so a deleted GUARDED_BY is caught rather than
+// silently weakening the check.
+//
+// Usage summary (see docs/STATIC_ANALYSIS.md for the full policy):
+//
+//   class CAPABILITY("mutex") Mutex { ... };    // a lock type
+//   class SCOPED_CAPABILITY MutexLock { ... };  // an RAII guard type
+//   int balance_ GUARDED_BY(mu_);               // field needs mu_ held
+//   Node* head_ PT_GUARDED_BY(mu_);             // *head_ needs mu_ held
+//   void RotateLocked() REQUIRES(mu_);          // caller must hold mu_
+//   void Flush() EXCLUDES(mu_);                 // caller must NOT hold mu_
+//   void Drain() NO_THREAD_SAFETY_ANALYSIS;     // protocol is non-lexical;
+//                                               // comment the protocol!
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MVSTORE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MVSTORE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// A type that is a lock/latch ("capability" in analysis terms).
+#define CAPABILITY(x) MVSTORE_THREAD_ANNOTATION(capability(x))
+
+// An RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY MVSTORE_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reads/writes require the named capability held.
+#define GUARDED_BY(x) MVSTORE_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MVSTORE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  MVSTORE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MVSTORE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function attributes: the caller must hold (exclusively / shared) the
+// listed capabilities on entry, and still holds them on exit.
+#define REQUIRES(...) \
+  MVSTORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MVSTORE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function attributes: the function acquires/releases the capability.
+#define ACQUIRE(...) MVSTORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MVSTORE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) MVSTORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MVSTORE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  MVSTORE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Conditional acquisition: first argument is the return value meaning
+// "acquired" (true for every Try* in this codebase).
+#define TRY_ACQUIRE(...) \
+  MVSTORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  MVSTORE_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (the function acquires it itself,
+// or sleeping while holding it would deadlock / stall the system).
+#define EXCLUDES(...) MVSTORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; teaches the analysis about
+// holds it cannot see (e.g. established in another translation unit).
+#define ASSERT_CAPABILITY(x) MVSTORE_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MVSTORE_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) MVSTORE_THREAD_ANNOTATION(lock_returned(x))
+
+// Opt a function out of the analysis entirely. Every use must carry a
+// comment stating the locking protocol it follows and why the analysis
+// cannot express it (scripts/check_invariants.py enforces the comment).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MVSTORE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -94,7 +94,7 @@ Status Checkpointer::Take(CheckpointStats* stats) {
   // One checkpoint pass at a time per database: concurrent passes would
   // interleave writes into the same temp file and publish a corrupt
   // checkpoint after its predecessor's covered segments were deleted.
-  std::lock_guard<std::mutex> serialize(db_.checkpoint_mutex());
+  MutexLock serialize(db_.checkpoint_mutex());
 
   // 1. Barrier: everything appended so far reaches the sink, then rotate so
   //    the covering rule holds — any record flushed into a segment below

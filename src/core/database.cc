@@ -283,7 +283,7 @@ std::vector<std::pair<std::string, uint64_t>> Database::CounterSnapshot() {
 
 uint32_t Database::RegisterProcedure(const std::string& name,
                                      ProcedureFn fn) {
-  std::unique_lock<std::shared_mutex> lock(procedures_mutex_);
+  WriterLock lock(procedures_mutex_);
   for (uint32_t i = 0; i < procedures_.size(); ++i) {
     if (procedures_[i].first == name) {
       procedures_[i].second = std::move(fn);
@@ -295,7 +295,7 @@ uint32_t Database::RegisterProcedure(const std::string& name,
 }
 
 int64_t Database::FindProcedure(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  ReaderLock lock(procedures_mutex_);
   for (uint32_t i = 0; i < procedures_.size(); ++i) {
     if (procedures_[i].first == name) return i;
   }
@@ -303,18 +303,18 @@ int64_t Database::FindProcedure(const std::string& name) {
 }
 
 uint32_t Database::NumProcedures() {
-  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  ReaderLock lock(procedures_mutex_);
   return static_cast<uint32_t>(procedures_.size());
 }
 
 std::string Database::ProcedureName(uint32_t id) {
-  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  ReaderLock lock(procedures_mutex_);
   return id < procedures_.size() ? procedures_[id].first : std::string();
 }
 
 Status Database::CallProcedure(uint32_t id, const uint8_t* arg,
                                size_t arg_len, std::vector<uint8_t>* result) {
-  std::shared_lock<std::shared_mutex> lock(procedures_mutex_);
+  ReaderLock lock(procedures_mutex_);
   if (id >= procedures_.size()) return Status::InvalidArgument();
   return procedures_[id].second(*this, arg, arg_len, result);
 }

@@ -20,13 +20,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cc/mv_engine.h"
+#include "common/mutex.h"
 #include "common/port.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -247,7 +246,9 @@ class Database {
   /// locks this): two interleaved writers on the same temp file would
   /// publish a checksum-corrupt checkpoint after the covered segments were
   /// already deleted — an unrecoverable state.
-  std::mutex& checkpoint_mutex() { return checkpoint_mutex_; }
+  Mutex& checkpoint_mutex() RETURN_CAPABILITY(checkpoint_mutex_) {
+    return checkpoint_mutex_;
+  }
 
   /// --- registered procedures --------------------------------------------------
   ///
@@ -318,13 +319,14 @@ class Database {
   std::unique_ptr<MVEngine> mv_;
   std::unique_ptr<SVEngine> sv_;
   ObjectPool<Txn> txn_handle_pool_;
-  std::mutex checkpoint_mutex_;
+  Mutex checkpoint_mutex_;
 
   /// Procedure registry. Reads (Find/Call) take the lock shared and hold it
   /// across the call, so a procedure can never be destroyed mid-execution
   /// by a concurrent re-registration.
-  std::shared_mutex procedures_mutex_;
-  std::vector<std::pair<std::string, ProcedureFn>> procedures_;
+  SharedMutex procedures_mutex_;
+  std::vector<std::pair<std::string, ProcedureFn>> procedures_
+      GUARDED_BY(procedures_mutex_);
 };
 
 }  // namespace mvstore

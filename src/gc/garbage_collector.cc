@@ -78,7 +78,7 @@ uint32_t GarbageCollector::Cooperate(uint32_t budget) {
 }
 
 uint64_t GarbageCollector::RunOnce() {
-  std::lock_guard<std::mutex> lock(run_once_mutex_);
+  MutexLock lock(run_once_mutex_);
   Timestamp now = now_fn_ != nullptr ? now_fn_(now_arg_) : kInfinity;
   Timestamp watermark = Watermark(now);
   uint64_t total = 0;

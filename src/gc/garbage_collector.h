@@ -17,10 +17,10 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/spin_latch.h"
 #include "common/timing.h"
 #include "common/types.h"
@@ -98,7 +98,7 @@ class GarbageCollector {
 
   struct alignas(kCacheLineSize) Shard {
     SpinLatch latch;
-    std::deque<Item> queue;
+    std::deque<Item> queue GUARDED_BY(latch);
   };
 
   uint32_t Drain(Shard& shard, Timestamp watermark, uint32_t budget);
@@ -108,7 +108,7 @@ class GarbageCollector {
   StatsCollector& stats_;
   const uint32_t interval_us_;
 
-  std::mutex run_once_mutex_;  // serializes full RunOnce passes
+  Mutex run_once_mutex_;  // serializes full RunOnce passes
   std::atomic<uint32_t> drains_in_flight_{0};
   std::array<Shard, kShards> shards_;
   std::atomic<uint32_t> enqueue_cursor_{0};

@@ -93,6 +93,7 @@ class LogRecordBuilder {
     std::memcpy(out_.data() + old_size, &value, sizeof(T));
   }
   void PutBytes(const void* data, size_t n) {
+    if (n == 0) return;  // an empty diff may pass data == nullptr
     const size_t old_size = out_.size();
     out_.resize(old_size + n);
     std::memcpy(out_.data() + old_size, data, n);
@@ -123,7 +124,10 @@ inline bool ParseLogRecord(const std::vector<uint8_t>& buf, size_t& pos,
                            ParsedLogRecord* record) {
   auto get = [&](void* dst, size_t n) {
     if (pos + n > buf.size()) return false;
-    std::memcpy(dst, buf.data() + pos, n);
+    // n == 0 (an empty diff/payload) would hand memcpy null pointers: an
+    // empty vector's data() and an empty buffer's data() are both null,
+    // and memcpy declares its arguments nonnull.
+    if (n != 0) std::memcpy(dst, buf.data() + pos, n);
     pos += n;
     return true;
   };

@@ -56,13 +56,13 @@ std::vector<SegmentFile> ListSegments(const std::string& prefix) {
 SegmentedLogSink::SegmentedLogSink(std::string prefix, Options options,
                                    StatsCollector* stats)
     : prefix_(std::move(prefix)), options_(options), stats_(stats) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   std::vector<logseg::SegmentFile> existing = logseg::ListSegments(prefix_);
   OpenSegmentLocked(existing.empty() ? 1 : existing.back().seq);
 }
 
 SegmentedLogSink::~SegmentedLogSink() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -110,7 +110,7 @@ void SegmentedLogSink::RotateLocked() {
 }
 
 void SegmentedLogSink::Write(const uint8_t* data, size_t size) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (segment_size_ > logseg::kHeaderSize &&
       segment_size_ + size > options_.segment_bytes) {
     RotateLocked();
@@ -132,7 +132,7 @@ void SegmentedLogSink::Write(const uint8_t* data, size_t size) {
 }
 
 void SegmentedLogSink::Sync() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (file_ == nullptr) return;
   // See FileLogSink::Sync: buffered-write and device-writeback failures
   // both surface here.
@@ -143,24 +143,24 @@ void SegmentedLogSink::Sync() {
 }
 
 uint64_t SegmentedLogSink::current_seq() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return seq_;
 }
 
 SegmentedLogSink::Position SegmentedLogSink::current_pos() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return Position{seq_, segment_size_};
 }
 
 SegmentedLogSink::Position SegmentedLogSink::last_write_pos() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return last_write_;
 }
 
 Status SegmentedLogSink::MirrorAppend(uint64_t seq, uint64_t offset,
                                       const uint8_t* data, size_t size,
                                       bool sync) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (failed_.load(std::memory_order_acquire)) return Status::Internal();
   if (seq > seq_) {
     // The leader rotated: seal the local segment and open the leader's
@@ -209,7 +209,7 @@ void SegmentedLogSink::SetRetainFloor(uint64_t seq) {
 }
 
 Status SegmentedLogSink::TruncateActiveTail(uint64_t bytes) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (bytes == 0) return Status::OK();
   if (file_ == nullptr || failed_.load(std::memory_order_acquire)) {
     return Status::Internal();
@@ -235,7 +235,7 @@ Status SegmentedLogSink::TruncateActiveTail(uint64_t bytes) {
 }
 
 uint64_t SegmentedLogSink::Rotate() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   RotateLocked();
   return seq_;
 }

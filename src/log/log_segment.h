@@ -20,11 +20,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "log/logger.h"
 
@@ -137,19 +137,21 @@ class SegmentedLogSink : public LogSink {
  private:
   /// Open segment `seq` (append). Writes a fresh header when the file is
   /// empty; truncates first when it is shorter than a header.
-  void OpenSegmentLocked(uint64_t seq);
-  void RotateLocked();
+  void OpenSegmentLocked(uint64_t seq) REQUIRES(mutex_);
+  void RotateLocked() REQUIRES(mutex_);
   void Fail(const char* what);
 
   const std::string prefix_;
   const Options options_;
   StatsCollector* const stats_;
 
-  mutable std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  uint64_t seq_ = 0;
-  uint64_t segment_size_ = 0;  // bytes in the current segment, header included
-  Position last_write_{0, 0};  // where the latest Write/MirrorAppend began
+  mutable Mutex mutex_;
+  std::FILE* file_ GUARDED_BY(mutex_) = nullptr;
+  uint64_t seq_ GUARDED_BY(mutex_) = 0;
+  /// Bytes in the current segment, header included.
+  uint64_t segment_size_ GUARDED_BY(mutex_) = 0;
+  /// Where the latest Write/MirrorAppend began.
+  Position last_write_ GUARDED_BY(mutex_) = {0, 0};
   std::atomic<uint64_t> retain_floor_{0};
   std::atomic<bool> failed_{false};
 };

@@ -85,10 +85,10 @@ Logger::Logger(LogMode mode, LogSink* sink, uint32_t group_commit_us,
 Logger::~Logger() {
   if (mode_ == LogMode::kDisabled) return;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     running_.store(false, std::memory_order_release);
   }
-  flusher_cv_.notify_all();
+  flusher_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   // Final drain.
   if (!buffer_.empty() && sink_ != nullptr) {
@@ -103,12 +103,12 @@ Logger::~Logger() {
 }
 
 void Logger::SetCommitObserver(CommitObserver* obs) {
-  std::lock_guard<std::mutex> guard(observer_mutex_);
+  MutexLock guard(observer_mutex_);
   observer_ = obs;
 }
 
 void Logger::NotifyObserver(const uint8_t* data, size_t size) {
-  std::lock_guard<std::mutex> guard(observer_mutex_);
+  MutexLock guard(observer_mutex_);
   if (observer_ != nullptr) observer_->OnFlushedBatch(data, size);
 }
 
@@ -116,7 +116,7 @@ void Logger::Append(const std::vector<uint8_t>& record) {
   if (mode_ == LogMode::kDisabled || record.empty()) return;
   uint64_t my_lsn;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     if (replay_paused_.load(std::memory_order_relaxed)) {
       return;  // replaying: the record is already on disk
     }
@@ -131,11 +131,11 @@ void Logger::Append(const std::vector<uint8_t>& record) {
   // missed wakeup costs at most one flusher poll interval.
   if (mode_ == LogMode::kSync ||
       flusher_idle_.load(std::memory_order_acquire)) {
-    flusher_cv_.notify_one();
+    flusher_cv_.NotifyOne();
   }
   if (mode_ == LogMode::kSync) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    commit_cv_.wait(lock, [&] { return flushed_lsn_ >= my_lsn; });
+    MutexLock lock(mutex_);
+    while (flushed_lsn_ < my_lsn) commit_cv_.Wait(lock);
   }
 }
 
@@ -145,23 +145,37 @@ void Logger::FlusherLoop() {
   uint64_t batch_records = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       flusher_idle_.store(true, std::memory_order_release);
-      flusher_cv_.wait_for(lock, kPollInterval, [&] {
-        return !buffer_.empty() || !running_.load(std::memory_order_acquire);
-      });
+      // Parked poll: wake on an appender's notify, shutdown, or the poll
+      // tick — written as an explicit deadline loop (not a predicate
+      // lambda) so the thread-safety analysis sees the guarded reads.
+      const auto poll_deadline = std::chrono::steady_clock::now() +
+                                 kPollInterval;
+      while (buffer_.empty() && running_.load(std::memory_order_acquire)) {
+        if (flusher_cv_.WaitUntil(lock, poll_deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       flusher_idle_.store(false, std::memory_order_release);
       if (buffer_.empty() && !running_.load(std::memory_order_acquire)) return;
       // Group-commit window: the first pending record opens the window; any
       // commit serialized before it closes rides the same Write+Sync (one
-      // fsync for the whole group). Wakeups from appenders don't satisfy
-      // the predicate, so the window holds its full length unless the
-      // logger is shutting down.
+      // fsync for the whole group). Appender wakeups do not close the
+      // window — only its deadline or shutdown does — so it holds its full
+      // length under traffic.
       if (group_commit_us_ > 0 && !buffer_.empty() &&
           running_.load(std::memory_order_acquire)) {
-        flusher_cv_.wait_for(
-            lock, std::chrono::microseconds(group_commit_us_),
-            [&] { return !running_.load(std::memory_order_acquire); });
+        const auto window_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(group_commit_us_);
+        while (running_.load(std::memory_order_acquire)) {
+          if (flusher_cv_.WaitUntil(lock, window_deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
       }
       batch.swap(buffer_);
       batch_records = buffer_records_;
@@ -179,34 +193,34 @@ void Logger::FlusherLoop() {
     }
     // Everything not sitting in the (refilled) buffer has been flushed.
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      MutexLock guard(mutex_);
       flushed_lsn_ = appended_lsn_ - buffer_.size();
     }
-    commit_cv_.notify_all();
+    commit_cv_.NotifyAll();
   }
 }
 
 void Logger::FlushAll() {
   if (mode_ == LogMode::kDisabled) return;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Wait for what is appended *now*, not for quiescence: under sustained
   // commit traffic appended_lsn_ is a moving target and a barrier chasing
   // it (the checkpointer does this mid-workload) would never return.
   const uint64_t target = appended_lsn_;
-  flusher_cv_.notify_one();
-  commit_cv_.wait(lock, [&] { return flushed_lsn_ >= target; });
+  flusher_cv_.NotifyOne();
+  while (flushed_lsn_ < target) commit_cv_.Wait(lock);
 }
 
 void Logger::PauseForReplay() {
   if (mode_ == LogMode::kDisabled) return;
   FlushAll();  // anything appended before the pause still reaches the sink
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   replay_paused_.store(true, std::memory_order_release);
 }
 
 void Logger::ResumeAfterReplay() {
   if (mode_ == LogMode::kDisabled) return;
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   replay_paused_.store(false, std::memory_order_release);
 }
 

@@ -9,14 +9,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/log_record.h"
@@ -98,17 +97,17 @@ class FileLogSink : public LogSink {
 class MemoryLogSink : public LogSink {
  public:
   void Write(const uint8_t* data, size_t size) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     buffer_.insert(buffer_.end(), data, data + size);
   }
   std::vector<uint8_t> Contents() {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return buffer_;
   }
 
  private:
-  std::mutex mutex_;
-  std::vector<uint8_t> buffer_;
+  Mutex mutex_;
+  std::vector<uint8_t> buffer_ GUARDED_BY(mutex_);
 };
 
 /// Observes every batch the flusher hands to the sink, called AFTER the
@@ -182,6 +181,8 @@ class Logger {
   }
 
  private:
+  friend struct TsaNegativeProbe;  // scripts/tsa_fixtures/ (compile-only)
+
   void FlusherLoop();
   void NotifyObserver(const uint8_t* data, size_t size);
 
@@ -190,13 +191,14 @@ class Logger {
   StatsCollector* const stats_;
   std::unique_ptr<LogSink> sink_;
 
-  std::mutex mutex_;
-  std::condition_variable flusher_cv_;
-  std::condition_variable commit_cv_;
-  std::vector<uint8_t> buffer_;
-  uint64_t buffer_records_ = 0;  // records in buffer_ (group-size counter)
-  uint64_t appended_lsn_ = 0;  // bytes appended
-  uint64_t flushed_lsn_ = 0;   // bytes flushed
+  Mutex mutex_;
+  CondVar flusher_cv_;
+  CondVar commit_cv_;
+  std::vector<uint8_t> buffer_ GUARDED_BY(mutex_);
+  /// Records in buffer_ (group-size counter).
+  uint64_t buffer_records_ GUARDED_BY(mutex_) = 0;
+  uint64_t appended_lsn_ GUARDED_BY(mutex_) = 0;  // bytes appended
+  uint64_t flushed_lsn_ GUARDED_BY(mutex_) = 0;   // bytes flushed
 
   /// Replay pause (see PauseForReplay); written under mutex_. Atomic so the
   /// engines' WriteLog fast-path check needs no lock.
@@ -206,8 +208,8 @@ class Logger {
   /// mutex_: the flusher holds observer_mutex_ across the callback (which
   /// may block on follower acknowledgements) while committers keep
   /// appending under mutex_ undisturbed.
-  std::mutex observer_mutex_;
-  CommitObserver* observer_ = nullptr;
+  Mutex observer_mutex_;
+  CommitObserver* observer_ GUARDED_BY(observer_mutex_) = nullptr;
 
   std::atomic<uint64_t> records_{0};
   std::atomic<bool> running_{false};

@@ -150,9 +150,11 @@ class ObjectPool {
   StatsCollector* const stats_;
 
   SpinLatch latch_;
-  std::vector<T*> free_;
-  std::vector<T*> all_;
-  std::vector<std::unique_ptr<Cache>> caches_;
+  std::vector<T*> free_ GUARDED_BY(latch_);
+  /// Latched for writes; the destructor's unlatched sweep is a quiesced-
+  /// caller contract (ctors/dtors are exempt from the analysis anyway).
+  std::vector<T*> all_ GUARDED_BY(latch_);
+  std::vector<std::unique_ptr<Cache>> caches_ GUARDED_BY(latch_);
 };
 
 }  // namespace mvstore

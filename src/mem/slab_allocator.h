@@ -122,8 +122,8 @@ class SlabAllocator {
   void* AllocateSlow(Magazine& m);
   void FlushMagazine(Magazine& m);
   void FlushLocalStats(Magazine& m);
-  /// Carve a new chunk. Caller holds latch_.
-  void NewChunkLocked();
+  /// Carve a new chunk.
+  void NewChunkLocked() REQUIRES(latch_);
 
   const size_t slot_size_;
   const size_t chunk_bytes_;
@@ -132,14 +132,15 @@ class SlabAllocator {
 
   SpinLatch latch_;
   /// Global freelist spine (latched).
-  std::vector<void*> spine_;
-  /// All chunks ever carved; freed wholesale at destruction.
-  std::vector<void*> chunks_;
+  std::vector<void*> spine_ GUARDED_BY(latch_);
+  /// All chunks ever carved; freed wholesale at destruction (dtors are
+  /// exempt from the analysis).
+  std::vector<void*> chunks_ GUARDED_BY(latch_);
   /// Bump region of the newest chunk.
-  char* bump_ = nullptr;
-  char* bump_end_ = nullptr;
+  char* bump_ GUARDED_BY(latch_) = nullptr;
+  char* bump_end_ GUARDED_BY(latch_) = nullptr;
   /// Magazines owned by this allocator (one per registered thread).
-  std::vector<std::unique_ptr<Magazine>> magazines_;
+  std::vector<std::unique_ptr<Magazine>> magazines_ GUARDED_BY(latch_);
 
   std::atomic<uint64_t> chunks_allocated_{0};
 };

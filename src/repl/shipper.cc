@@ -1,6 +1,7 @@
 #include "repl/shipper.h"
 
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "core/checkpoint.h"
 #include "log/log_segment.h"
 #include "server/wire.h"
@@ -16,11 +17,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 #endif
@@ -109,9 +108,9 @@ struct ReplShipper::Impl : public CommitObserver {
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
 
-  std::mutex hub_mutex;
-  std::condition_variable ack_cv;
-  std::vector<std::unique_ptr<Follower>> followers;
+  Mutex hub_mutex;
+  CondVar ack_cv;
+  std::vector<std::unique_ptr<Follower>> followers GUARDED_BY(hub_mutex);
 
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> dropped{0};
@@ -156,13 +155,19 @@ struct ReplShipper::Impl : public CommitObserver {
     return Status::OK();
   }
 
-  void Stop() {
+  /// NO_THREAD_SAFETY_ANALYSIS: the final traversal of `followers` (joins +
+  /// fd close) runs without hub_mutex. Safe by protocol — the acceptor is
+  /// already joined (the only mutator of the vector's shape besides
+  /// ReapDead, which it calls), so the vector is frozen; holding hub_mutex
+  /// across thread.join() would deadlock with MarkDead, which each follower
+  /// thread takes the lock in on its way out.
+  void Stop() NO_THREAD_SAFETY_ANALYSIS {
     if (!running.exchange(false, std::memory_order_acq_rel)) return;
     {
-      std::lock_guard<std::mutex> guard(hub_mutex);
+      MutexLock guard(hub_mutex);
       stopping.store(true, std::memory_order_release);
     }
-    ack_cv.notify_all();
+    ack_cv.NotifyAll();
     // Detach before tearing connections down: SetCommitObserver serializes
     // against an in-flight OnFlushedBatch, which the stopping flag just
     // released from its ack wait.
@@ -172,7 +177,7 @@ struct ReplShipper::Impl : public CommitObserver {
     if (listen_fd >= 0) ::close(listen_fd);
     listen_fd = -1;
     {
-      std::lock_guard<std::mutex> guard(hub_mutex);
+      MutexLock guard(hub_mutex);
       for (auto& f : followers) {
         if (f->fd >= 0) ::shutdown(f->fd, SHUT_RDWR);
         WakeFollower(f.get());
@@ -194,8 +199,7 @@ struct ReplShipper::Impl : public CommitObserver {
     }
   }
 
-  /// hub_mutex held.
-  void RecomputeRetainLocked() {
+  void RecomputeRetainLocked() REQUIRES(hub_mutex) {
     uint64_t floor = 0;
     for (const auto& f : followers) {
       if (f->dead || f->retain_seq == 0) continue;
@@ -204,9 +208,9 @@ struct ReplShipper::Impl : public CommitObserver {
     sink->SetRetainFloor(floor);
   }
 
-  /// hub_mutex held. Shut the socket down so the connection thread unblocks
-  /// and exits; the thread itself finishes the bookkeeping in MarkDead.
-  void DropLocked(Follower* f) {
+  /// Shut the socket down so the connection thread unblocks and exits; the
+  /// thread itself finishes the bookkeeping in MarkDead.
+  void DropLocked(Follower* f) REQUIRES(hub_mutex) {
     if (f->dead) return;
     if (f->fd >= 0) ::shutdown(f->fd, SHUT_RDWR);
     f->attached = false;
@@ -214,7 +218,7 @@ struct ReplShipper::Impl : public CommitObserver {
   }
 
   void MarkDead(Follower* f) {
-    std::lock_guard<std::mutex> guard(hub_mutex);
+    MutexLock guard(hub_mutex);
     f->dead = true;
     f->attached = false;
     // Shut the socket down now so the peer sees the session end immediately;
@@ -224,7 +228,7 @@ struct ReplShipper::Impl : public CommitObserver {
     f->retain_seq = 0;
     f->outbox.clear();
     RecomputeRetainLocked();
-    ack_cv.notify_all();
+    ack_cv.NotifyAll();
   }
 
   // --- CommitObserver -------------------------------------------------------
@@ -235,7 +239,7 @@ struct ReplShipper::Impl : public CommitObserver {
     // is stable here because only the flusher writes on the leader.
     const Position start = sink->last_write_pos();
     const Position end{start.seq, start.offset + size};
-    std::unique_lock<std::mutex> lock(hub_mutex);
+    MutexLock lock(hub_mutex);
     bool offered = false;
     for (auto& f : followers) {
       if (!f->attached || f->dead) continue;
@@ -263,7 +267,7 @@ struct ReplShipper::Impl : public CommitObserver {
         }
       }
       if (!pending) break;
-      if (ack_cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (ack_cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
         for (auto& f : followers) {
           if (f->attached && !f->dead && f->acked < end) DropLocked(f.get());
         }
@@ -289,7 +293,7 @@ struct ReplShipper::Impl : public CommitObserver {
       f->wake_fd = ::eventfd(0, EFD_NONBLOCK);
       Follower* raw = f.get();
       {
-        std::lock_guard<std::mutex> guard(hub_mutex);
+        MutexLock guard(hub_mutex);
         followers.push_back(std::move(f));
       }
       raw->thread = std::thread([this, raw] { ServeConn(raw); });
@@ -299,7 +303,7 @@ struct ReplShipper::Impl : public CommitObserver {
   void ReapDead() {
     std::vector<std::unique_ptr<Follower>> done;
     {
-      std::lock_guard<std::mutex> guard(hub_mutex);
+      MutexLock guard(hub_mutex);
       for (auto it = followers.begin(); it != followers.end();) {
         if ((*it)->dead) {
           done.push_back(std::move(*it));
@@ -392,7 +396,7 @@ struct ReplShipper::Impl : public CommitObserver {
         {
           // From handshake to attach (or death), nothing the follower may
           // still need to pull is allowed to be truncated away.
-          std::lock_guard<std::mutex> guard(hub_mutex);
+          MutexLock guard(hub_mutex);
           f->retain_seq = min_seq;
           RecomputeRetainLocked();
         }
@@ -472,7 +476,7 @@ struct ReplShipper::Impl : public CommitObserver {
           return false;
         }
         const Position follower{seq, offset};
-        std::lock_guard<std::mutex> guard(hub_mutex);
+        MutexLock guard(hub_mutex);
         // current_pos is read under the hub lock — the same lock
         // OnFlushedBatch enqueues under — so a batch flushed after this
         // comparison is guaranteed to land in this follower's outbox.
@@ -542,18 +546,18 @@ struct ReplShipper::Impl : public CommitObserver {
             uint64_t seq = 0, offset = 0;
             if (!body.Read(&seq) || !body.Read(&offset)) return;
             {
-              std::lock_guard<std::mutex> guard(hub_mutex);
+              MutexLock guard(hub_mutex);
               const Position acked{seq, offset};
               if (f->acked < acked) f->acked = acked;
             }
-            ack_cv.notify_all();
+            ack_cv.NotifyAll();
           }
         }
       }
       // Outbound: drained under the lock, sent outside it.
       std::deque<std::pair<Position, std::vector<uint8_t>>> out;
       {
-        std::lock_guard<std::mutex> guard(hub_mutex);
+        MutexLock guard(hub_mutex);
         out.swap(f->outbox);
         if (f->dead) return;
       }
@@ -611,7 +615,7 @@ bool ReplShipper::running() const {
 uint16_t ReplShipper::port() const { return impl_->bound_port; }
 
 uint32_t ReplShipper::attached_followers() {
-  std::lock_guard<std::mutex> guard(impl_->hub_mutex);
+  MutexLock guard(impl_->hub_mutex);
   uint32_t n = 0;
   for (const auto& f : impl_->followers) {
     if (f->attached && !f->dead) ++n;

@@ -1,6 +1,7 @@
 #include "server/mv_server.h"
 
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "server/session.h"
 #include "server/wire.h"
 
@@ -16,7 +17,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -82,8 +82,10 @@ struct MVServer::Impl {
     int epfd = -1;
     int wake_fd = -1;
     std::thread thread;
-    std::mutex pending_mutex;
-    std::vector<std::pair<int, Session*>> pending;
+    Mutex pending_mutex;
+    /// Connections handed over by the acceptor, adopted on the next wake.
+    /// (`conns` below is worker-thread-only and needs no lock.)
+    std::vector<std::pair<int, Session*>> pending GUARDED_BY(pending_mutex);
     std::unordered_map<int, Conn> conns;
   };
 
@@ -224,7 +226,7 @@ struct MVServer::Impl {
           }
           Worker* w = workers[next_worker++ % workers.size()].get();
           {
-            std::lock_guard<std::mutex> guard(w->pending_mutex);
+            MutexLock guard(w->pending_mutex);
             w->pending.emplace_back(fd, session);
           }
           WakeEventFd(w->wake_fd);
@@ -308,7 +310,7 @@ struct MVServer::Impl {
   void AdoptPending(Worker* w, bool closing = false) {
     std::vector<std::pair<int, Session*>> pending;
     {
-      std::lock_guard<std::mutex> guard(w->pending_mutex);
+      MutexLock guard(w->pending_mutex);
       pending.swap(w->pending);
     }
     for (auto& [fd, session] : pending) {

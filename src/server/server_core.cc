@@ -14,7 +14,7 @@ Session* ServerCore::OpenSession() {
     sessions_refused.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  MutexLock guard(sessions_mutex_);
   if (sessions_.size() >= options_.max_sessions) {
     sessions_refused.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -30,7 +30,7 @@ void ServerCore::CloseSession(Session* session) {
   if (session == nullptr) return;
   std::unique_ptr<Session> owned;
   {
-    std::lock_guard<std::mutex> guard(sessions_mutex_);
+    MutexLock guard(sessions_mutex_);
     auto it = sessions_.find(session);
     if (it == sessions_.end()) return;
     owned = std::move(it->second);
@@ -46,12 +46,12 @@ void ServerCore::BeginDrain() {
 }
 
 uint32_t ServerCore::active_sessions() {
-  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  MutexLock guard(sessions_mutex_);
   return static_cast<uint32_t>(sessions_.size());
 }
 
 uint32_t ServerCore::sessions_with_open_txn() {
-  std::lock_guard<std::mutex> guard(sessions_mutex_);
+  MutexLock guard(sessions_mutex_);
   uint32_t n = 0;
   for (const auto& [raw, session] : sessions_) {
     if (session->has_open_txn()) ++n;

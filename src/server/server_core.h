@@ -21,10 +21,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "core/database.h"
 
 namespace mvstore {
@@ -119,8 +119,11 @@ class ServerCore {
   std::atomic<bool> draining_{false};
   std::atomic<ReplicaGate*> replica_{nullptr};
 
-  std::mutex sessions_mutex_;
-  std::unordered_map<Session*, std::unique_ptr<Session>> sessions_;
+  friend struct TsaNegativeProbe;  // scripts/tsa_fixtures/ (compile-only)
+
+  Mutex sessions_mutex_;
+  std::unordered_map<Session*, std::unique_ptr<Session>> sessions_
+      GUARDED_BY(sessions_mutex_);
 };
 
 }  // namespace mvstore

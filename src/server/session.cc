@@ -169,7 +169,11 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
         return;
       }
       if (RefuseWrite(frame, out)) return;
-      Status s = db_.Insert(txn_, table, body.rest());
+      // Bounce through an aligned heap copy: body.rest() points into the
+      // frame at an arbitrary offset, and Insert hands the payload pointer
+      // to the table's key extractors, which cast it to the row struct.
+      std::vector<uint8_t> row(body.rest(), body.rest() + body.remaining());
+      Status s = db_.Insert(txn_, table, row.data());
       if (s.IsAborted()) txn_ = nullptr;
       RespondEmpty(out, frame.opcode, s);
       return;

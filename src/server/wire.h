@@ -199,6 +199,7 @@ inline void Put(std::vector<uint8_t>* out, T value) {
 }
 
 inline void PutBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
+  if (n == 0) return;  // empty payloads may pass data == nullptr
   const size_t old_size = out->size();
   out->resize(old_size + n);
   std::memcpy(out->data() + old_size, data, n);

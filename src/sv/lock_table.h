@@ -253,8 +253,8 @@ class RangeLockManager {
   };
 
   SpinLatch latch_;
-  std::vector<RangeEntry> ranges_;
-  std::vector<PointEntry> points_;
+  std::vector<RangeEntry> ranges_ GUARDED_BY(latch_);
+  std::vector<PointEntry> points_ GUARDED_BY(latch_);
 };
 
 }  // namespace mvstore

@@ -117,7 +117,7 @@ class TimestampGenerator {
 
   alignas(kCacheLineSize) std::atomic<uint32_t> used_slots_{0};
   mutable SpinLatch freelist_latch_;
-  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> free_slots_ GUARDED_BY(freelist_latch_);
 
   std::vector<Slot> slots_;
 };

@@ -122,8 +122,12 @@ class Transaction {
   /// pooling. Reuse happens only after epoch reclamation, so no concurrent
   /// reader can hold this pointer: relaxed stores suffice (publication to
   /// other threads goes through the txn table's latch).
+  /// NO_THREAD_SAFETY_ANALYSIS: clears latch-guarded sets without their
+  /// latches. Safe by protocol — Reset runs on pool recycle, before the
+  /// transaction is published in the TxnTable, so no other thread can hold
+  /// a pointer to it (the previous incarnation was epoch-retired first).
   void Reset(TxnId new_id, IsolationLevel new_isolation, bool new_pessimistic,
-             bool new_read_only) {
+             bool new_read_only) NO_THREAD_SAFETY_ANALYSIS {
     id = new_id;
     isolation = new_isolation;
     pessimistic = new_pessimistic;
@@ -176,9 +180,9 @@ class Transaction {
   /// Guards commit_dep_set / deps_drained.
   SpinLatch dep_latch;
   /// IDs of transactions that depend on us.
-  std::vector<TxnId> commit_dep_set;
+  std::vector<TxnId> commit_dep_set GUARDED_BY(dep_latch);
   /// True once we have resolved (drained) our dependents.
-  bool deps_drained = false;
+  bool deps_drained GUARDED_BY(dep_latch) = false;
 
   /// --- wait-for dependencies, MV/L (Section 4.2) ---------------------------
 
@@ -191,21 +195,24 @@ class Transaction {
   SpinLatch waiting_latch;
   /// Outgoing: IDs of transactions waiting on this transaction to complete
   /// (bucket-lock dependencies, Section 4.2.2).
-  std::vector<TxnId> waiting_txn_list;
+  std::vector<TxnId> waiting_txn_list GUARDED_BY(waiting_latch);
   /// Set once the list has been drained at precommit/abort; late additions
   /// are rejected (the adder no longer needs the dependency: our scans are
   /// already ordered before its commit).
-  bool waiting_drained = false;
+  bool waiting_drained GUARDED_BY(waiting_latch) = false;
   /// True while parked waiting for wait_for_counter to reach zero; the
   /// deadlock detector only considers blocked transactions (Section 4.4).
   std::atomic<bool> blocked{false};
 
   /// --- read/scan/write sets ------------------------------------------------
 
-  /// Guards read_set: the deadlock detector walks other transactions' read
-  /// sets concurrently with the owner appending (Section 4.4 step 3).
+  /// Guards read_set against structural races: the deadlock detector walks
+  /// other transactions' read sets concurrently with the owner appending
+  /// (Section 4.4 step 3). Owner-side validation iterates it latch-free
+  /// after the last append (MVEngine::Validate carries the protocol
+  /// comment and a NO_THREAD_SAFETY_ANALYSIS opt-out).
   mutable SpinLatch read_set_latch;
-  std::vector<ReadSetEntry> read_set;
+  std::vector<ReadSetEntry> read_set GUARDED_BY(read_set_latch);
   std::vector<ScanSetEntry> scan_set;
   std::vector<RangeScanSetEntry> range_scan_set;
   std::vector<WriteSetEntry> write_set;

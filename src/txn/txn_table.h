@@ -125,9 +125,11 @@ class TxnTable {
   }
 
  private:
+  friend struct TsaNegativeProbe;  // scripts/tsa_fixtures/ (compile-only)
+
   struct alignas(kCacheLineSize) Partition {
     mutable SpinLatch latch;
-    std::unordered_map<TxnId, Transaction*> map;
+    std::unordered_map<TxnId, Transaction*> map GUARDED_BY(latch);
   };
 
   /// Block-affine partitioning: transaction IDs are drawn in per-thread

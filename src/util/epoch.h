@@ -122,7 +122,7 @@ class EpochManager {
     /// The slot's retired queue: owner pushes at the back, reclaimers pop
     /// eligible entries off the front. Epoch tags are nondecreasing.
     mutable SpinLatch latch;
-    std::deque<Retired> retired;
+    std::deque<Retired> retired GUARDED_BY(latch);
     std::atomic<uint64_t> pending{0};
   };
 
@@ -141,11 +141,11 @@ class EpochManager {
   std::vector<ThreadSlot> slots_;
   std::atomic<uint32_t> used_slots_{0};
   SpinLatch freelist_latch_;
-  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> free_slots_ GUARDED_BY(freelist_latch_);
 
   /// Retirements from dead or slotless threads; drained like a slot queue.
   mutable SpinLatch orphans_latch_;
-  std::deque<Retired> orphans_;
+  std::deque<Retired> orphans_ GUARDED_BY(orphans_latch_);
   std::atomic<uint64_t> orphan_pending_{0};
 
   /// Guards that could not get a slot (thread teardown, slot exhaustion):

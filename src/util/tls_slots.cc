@@ -1,6 +1,6 @@
 #include "util/tls_slots.h"
 
-#include <mutex>
+#include "common/mutex.h"
 
 namespace mvstore {
 namespace tls_slots {
@@ -12,9 +12,9 @@ struct Owner {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<uint64_t, Owner> owners;
-  uint64_t next_id = 1;
+  Mutex mu;
+  std::unordered_map<uint64_t, Owner> owners GUARDED_BY(mu);
+  uint64_t next_id GUARDED_BY(mu) = 1;
 };
 
 Registry& GetRegistry() {
@@ -28,7 +28,7 @@ Registry& GetRegistry() {
 
 uint64_t RegisterOwner(void* owner, ReleaseFn release) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   uint64_t id = r.next_id++;
   r.owners.emplace(id, Owner{owner, release});
   return id;
@@ -36,7 +36,7 @@ uint64_t RegisterOwner(void* owner, ReleaseFn release) {
 
 void UnregisterOwner(uint64_t id) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.owners.erase(id);
 }
 
@@ -45,7 +45,7 @@ void ReleaseSlot(uint64_t id, uint32_t slot) {
   // The callback runs under the mutex: UnregisterOwner (first line of every
   // owner destructor) cannot complete while a release is in flight, so the
   // owner outlives the callback.
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.owners.find(id);
   if (it == r.owners.end()) return;
   it->second.release(it->second.owner, slot);
