@@ -32,6 +32,7 @@
 #include "common/timing.h"
 #include "common/types.h"
 #include "core/database.h"
+#include "obs/histogram.h"
 
 namespace mvstore {
 namespace bench {
@@ -214,11 +215,43 @@ inline std::string SchemeLabel(Scheme scheme, const DatabaseOptions& opts) {
   return label;
 }
 
+/// Per-point latency quantiles from the engine's striped histograms:
+/// snapshot one histogram before the measured window, diff after, report
+/// the window's p50/p99 in microseconds. Costs two cold-path merges per
+/// point — nothing on the hot path, so probing does not perturb tps.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(Database& db, obs::Hist hist = obs::Hist::kCommitTotal)
+      : db_(&db), hist_(hist), delta_(db.hists().Snapshot(hist)) {}
+
+  /// Close the window: from here on the quantiles cover exactly the
+  /// records made since construction.
+  void Finish() {
+    obs::HistogramData now = db_->hists().Snapshot(hist_);
+    now.Subtract(delta_);
+    delta_ = now;
+  }
+
+  double p50_us() const {
+    return obs::TicksToMicros(delta_.ValueAtQuantile(0.5));
+  }
+  double p99_us() const {
+    return obs::TicksToMicros(delta_.ValueAtQuantile(0.99));
+  }
+
+ private:
+  Database* db_;
+  obs::Hist hist_;
+  obs::HistogramData delta_;
+};
+
 /// Collects benchmark result rows and writes them as a JSON array:
 ///   [{"bench": "...", "scheme": "...", "threads": N,
-///     "tps": T, "aborts": A}, ...]
+///     "tps": T, "aborts": A, "p50_us": ..., "p99_us": ...}, ...]
 /// Enabled by `--json PATH`; a default-constructed reporter is a no-op, so
-/// benches can call AddRow unconditionally.
+/// benches can call AddRow unconditionally. The latency fields come from a
+/// LatencyProbe when the bench wires one up, and are 0.0 otherwise — the
+/// keys are always present so downstream tooling sees one schema.
 class JsonReporter {
  public:
   JsonReporter() = default;
@@ -235,15 +268,21 @@ class JsonReporter {
   bool enabled() const { return !path_.empty(); }
 
   void AddRow(const std::string& scheme, uint32_t threads, double tps,
-              uint64_t aborts) {
+              uint64_t aborts, double p50_us = 0.0, double p99_us = 0.0) {
     if (!enabled()) return;
-    char row[256];
+    char row[320];
     std::snprintf(row, sizeof(row),
                   "{\"bench\": \"%s\", \"scheme\": \"%s\", \"threads\": %u, "
-                  "\"tps\": %.1f, \"aborts\": %llu}",
+                  "\"tps\": %.1f, \"aborts\": %llu, "
+                  "\"p50_us\": %.1f, \"p99_us\": %.1f}",
                   bench_.c_str(), scheme.c_str(), threads, tps,
-                  static_cast<unsigned long long>(aborts));
+                  static_cast<unsigned long long>(aborts), p50_us, p99_us);
     rows_.push_back(row);
+  }
+
+  void AddRow(const std::string& scheme, uint32_t threads, double tps,
+              uint64_t aborts, const LatencyProbe& probe) {
+    AddRow(scheme, threads, tps, aborts, probe.p50_us(), probe.p99_us());
   }
 
   /// Write the file now (also runs at destruction; idempotent).

@@ -50,6 +50,7 @@ inline int RunScalabilityBench(int argc, char** argv, uint64_t default_rows,
     for (size_t i = 0; i < schemes.size(); ++i) {
       Database& db = *dbs[i];
       TableId table = tables[i];
+      LatencyProbe probe(db, obs::Hist::kCommitTotal);
       RunResult r = RunFixedDuration(
           threads, seconds,
           [&](uint32_t tid, std::atomic<bool>& stop, WorkerCounters& counters) {
@@ -65,8 +66,9 @@ inline int RunScalabilityBench(int argc, char** argv, uint64_t default_rows,
               }
             }
           });
+      probe.Finish();
       std::printf("%14.0f", r.tps());
-      json.AddRow(labels[i], threads, r.tps(), r.aborted);
+      json.AddRow(labels[i], threads, r.tps(), r.aborted, probe);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -43,6 +43,7 @@ inline int RunReadMixBench(int argc, char** argv, uint64_t default_rows,
     for (size_t i = 0; i < schemes.size(); ++i) {
       Database& db = *dbs[i];
       TableId table = tables[i];
+      LatencyProbe probe(db, obs::Hist::kCommitTotal);
       RunResult r = RunFixedDuration(
           threads, seconds,
           [&](uint32_t tid, std::atomic<bool>& stop, WorkerCounters& c) {
@@ -63,11 +64,12 @@ inline int RunReadMixBench(int argc, char** argv, uint64_t default_rows,
               }
             }
           });
+      probe.Finish();
       std::printf("%14.0f", r.tps());
       // read_pct is the x-axis here; encode it in the scheme label so the
-      // common row shape stays {bench, scheme, threads, tps, aborts}.
+      // common row shape stays {bench, scheme, threads, tps, aborts, ...}.
       json.AddRow(labels[i] + "@read" + std::to_string(read_pct), threads,
-                  r.tps(), r.aborted);
+                  r.tps(), r.aborted, probe);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -157,8 +157,8 @@ int main(int argc, char** argv) {
   std::printf("server_bench: TATP over the service layer (%llu subscribers, "
               "depth %u)\n",
               static_cast<unsigned long long>(subscribers), depth);
-  std::printf("%-14s %-10s %12s %12s %10s\n", "scheme", "transport", "conns",
-              "tps", "aborts");
+  std::printf("%-14s %-10s %12s %12s %10s %10s %10s\n", "scheme", "transport",
+              "conns", "tps", "aborts", "p50_us", "p99_us");
 
   for (Scheme scheme : SchemesToRun(flags)) {
     DatabaseOptions opts = MakeOptions(scheme, flags);
@@ -188,13 +188,16 @@ int main(int argc, char** argv) {
       ctx.proc_id = static_cast<uint32_t>(proc);
       ctx.transport = &loopback;
       for (uint32_t conns : ThreadSweep(max_threads)) {
+        LatencyProbe probe(db, obs::Hist::kCommitTotal);
         RunResult r = RunPoint(ctx, conns, seconds);
+        probe.Finish();
         std::string label = SchemeLabel(scheme, opts) + ":p" +
                             std::to_string(ctx.depth);
-        std::printf("%-14s %-10s %12u %12.0f %10llu\n", label.c_str(),
-                    "loopback", conns, r.tps(),
-                    static_cast<unsigned long long>(r.aborted));
-        json.AddRow(label, conns, r.tps(), r.aborted);
+        std::printf("%-14s %-10s %12u %12.0f %10llu %10.1f %10.1f\n",
+                    label.c_str(), "loopback", conns, r.tps(),
+                    static_cast<unsigned long long>(r.aborted),
+                    probe.p50_us(), probe.p99_us());
+        json.AddRow(label, conns, r.tps(), r.aborted, probe);
       }
     }
 
@@ -212,13 +215,16 @@ int main(int argc, char** argv) {
       TcpTransport tcp("127.0.0.1", server.port());
       ctx.transport = &tcp;
       for (uint32_t conns : ThreadSweep(max_threads)) {
+        LatencyProbe probe(db, obs::Hist::kCommitTotal);
         RunResult r = RunPoint(ctx, conns, seconds);
+        probe.Finish();
         std::string label = SchemeLabel(scheme, opts) + ":p" +
                             std::to_string(ctx.depth) + "+tcp";
-        std::printf("%-14s %-10s %12u %12.0f %10llu\n", label.c_str(), "tcp",
-                    conns, r.tps(),
-                    static_cast<unsigned long long>(r.aborted));
-        json.AddRow(label, conns, r.tps(), r.aborted);
+        std::printf("%-14s %-10s %12u %12.0f %10llu %10.1f %10.1f\n",
+                    label.c_str(), "tcp", conns, r.tps(),
+                    static_cast<unsigned long long>(r.aborted),
+                    probe.p50_us(), probe.p99_us());
+        json.AddRow(label, conns, r.tps(), r.aborted, probe);
       }
       server.Stop();
     }
@@ -279,18 +285,25 @@ int main(int argc, char** argv) {
         fcore.SetReplica(replica.get());
         LoopbackTransport ftrans(fcore);
         for (uint32_t conns : ThreadSweep(max_threads)) {
+          // Read rows: per-GET latency, from each side's own engine.
+          LatencyProbe lprobe(*leader, obs::Hist::kReadLatency);
           RunResult lr = RunReadPoint(ltrans, ctx.depth, conns, seconds);
+          lprobe.Finish();
           std::string llabel = SchemeLabel(scheme, opts) + ":fread";
-          std::printf("%-14s %-10s %12u %12.0f %10llu\n", llabel.c_str(),
-                      "loopback", conns, lr.tps(),
-                      static_cast<unsigned long long>(lr.aborted));
-          json.AddRow(llabel, conns, lr.tps(), lr.aborted);
+          std::printf("%-14s %-10s %12u %12.0f %10llu %10.1f %10.1f\n",
+                      llabel.c_str(), "loopback", conns, lr.tps(),
+                      static_cast<unsigned long long>(lr.aborted),
+                      lprobe.p50_us(), lprobe.p99_us());
+          json.AddRow(llabel, conns, lr.tps(), lr.aborted, lprobe);
+          LatencyProbe fprobe(replica->db(), obs::Hist::kReadLatency);
           RunResult fr = RunReadPoint(ftrans, ctx.depth, conns, seconds);
+          fprobe.Finish();
           std::string flabel = SchemeLabel(scheme, opts) + ":fread+follower";
-          std::printf("%-14s %-10s %12u %12.0f %10llu\n", flabel.c_str(),
-                      "loopback", conns, fr.tps(),
-                      static_cast<unsigned long long>(fr.aborted));
-          json.AddRow(flabel, conns, fr.tps(), fr.aborted);
+          std::printf("%-14s %-10s %12u %12.0f %10llu %10.1f %10.1f\n",
+                      flabel.c_str(), "loopback", conns, fr.tps(),
+                      static_cast<unsigned long long>(fr.aborted),
+                      fprobe.p50_us(), fprobe.p99_us());
+          json.AddRow(flabel, conns, fr.tps(), fr.aborted, fprobe);
         }
         fcore.SetReplica(nullptr);
       }

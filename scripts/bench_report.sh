@@ -8,8 +8,10 @@
 #   BENCH_THREADS=<default>  max multiprogramming level
 #   BENCH_REPEATS=1          runs per bench; rows are per-point medians
 #
-# Each bench emits a JSON array of {bench, scheme, threads, tps, aborts}
-# rows via --json; this script merges them, taking the per-point median
+# Each bench emits a JSON array of {bench, scheme, threads, tps, aborts,
+# p50_us, p99_us} rows via --json (the latency quantiles come from the
+# engine's own histograms; see docs/BENCHMARKS.md "Latency columns");
+# this script merges them, taking the per-point median
 # across repeats (single-run numbers on a shared/small box are noisy). The
 # slab-sensitive benches run twice (memory subsystem on and off) so every
 # report carries a slab-vs-heap comparison alongside the absolute numbers.

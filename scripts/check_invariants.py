@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant linter for mvstore. Stdlib only; CI runs it on every PR.
 
-Four invariants the type system cannot express:
+Five invariants the type system cannot express:
 
 1. epoch-guard  — a raw `Version*` may only be dereferenced lexically inside
    an `EpochGuard` scope (epoch-based reclamation is what keeps the pointer
@@ -25,6 +25,13 @@ Four invariants the type system cannot express:
    protocol the function actually follows and why the analysis cannot
    express it. An unexplained opt-out is an unreviewed hole in the
    compile-time lock discipline.
+
+5. hist-catalog — the histogram names in obs::HistName()
+   (src/obs/histogram.h) and the metric-catalog table in
+   docs/OBSERVABILITY.md must match bidirectionally: metric names are a
+   stable scrape contract, so a histogram in code but not the catalog is
+   an undocumented series and a catalog row without code is a stale
+   dashboard promise.
 
 `--self-test` seeds a temporary tree with known-bad inputs and asserts each
 check still catches them — deleting a check (or breaking its regex) fails CI
@@ -319,6 +326,61 @@ def check_tsa_optout(root):
     return violations
 
 
+# --- check 5: histogram metric catalog --------------------------------------
+
+HIST_NAMES_BLOCK_RE = re.compile(
+    r"static\s+const\s+char\*\s+kNames\[\]\s*=\s*\{(.*?)\};", re.S
+)
+HIST_NAME_RE = re.compile(r'"([a-z_]+)"')
+
+
+def _code_hist_names(histogram_h):
+    m = HIST_NAMES_BLOCK_RE.search(histogram_h)
+    return set(HIST_NAME_RE.findall(m.group(1))) if m else set()
+
+
+def _catalog_hist_names(observability_md):
+    names = set()
+    in_catalog = False
+    for line in observability_md.splitlines():
+        if line.startswith("### Latency histogram families"):
+            in_catalog = True
+            continue
+        if in_catalog and line.startswith(("## ", "### ")):
+            break
+        if in_catalog:
+            m = CATALOG_ROW_RE.match(line)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def check_hist_catalog(root):
+    hist_path = os.path.join(root, "src", "obs", "histogram.h")
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(hist_path):
+        return []  # nothing to cross-check (self-test trees without obs/)
+    if not os.path.exists(doc_path):
+        return ["docs/OBSERVABILITY.md missing (the metric catalog lives there)"]
+    code_names = _code_hist_names(_read(hist_path))
+    if not code_names:
+        return ["src/obs/histogram.h: could not parse the HistName() kNames "
+                "array (check 5 regex needs updating)"]
+    catalog = _catalog_hist_names(_read(doc_path))
+    violations = []
+    for name in sorted(code_names - catalog):
+        violations.append(
+            f"histogram '{name}' (obs::HistName) is not in the "
+            f"docs/OBSERVABILITY.md metric catalog"
+        )
+    for name in sorted(catalog - code_names):
+        violations.append(
+            f"docs/OBSERVABILITY.md catalogs histogram '{name}' but "
+            f"obs::HistName() has no such name"
+        )
+    return violations
+
+
 # --- self-test --------------------------------------------------------------
 
 
@@ -421,6 +483,34 @@ def self_test():
         if any("src/good/optout.h" in v for v in tsa):
             failures.append("tsa-optout check flagged a documented opt-out")
 
+        _write(
+            root,
+            "src/obs/histogram.h",
+            "inline const char* HistName(Hist hist) {\n"
+            "  static const char* kNames[] = {\n"
+            '      "commit_total", "undocumented_hist",\n'
+            "  };\n"
+            "  return kNames[static_cast<uint32_t>(hist)];\n"
+            "}\n",
+        )
+        _write(
+            root,
+            "docs/OBSERVABILITY.md",
+            "### Latency histogram families\n\n"
+            "| Family | Span | Sampled? |\n"
+            "|--------|------|----------|\n"
+            "| `commit_total` | whole commit | 1-in-32 |\n"
+            "| `stale_hist` | removed long ago | no |\n\n"
+            "### Counters\n",
+        )
+        hist = check_hist_catalog(root)
+        if not any("undocumented_hist" in v for v in hist):
+            failures.append("hist-catalog check missed the undocumented histogram")
+        if not any("stale_hist" in v for v in hist):
+            failures.append("hist-catalog check missed the stale catalog row")
+        if any("'commit_total'" in v for v in hist):
+            failures.append("hist-catalog check flagged a documented histogram")
+
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)
@@ -451,12 +541,14 @@ def main():
     violations += check_failpoints(root)
     violations += check_ownership(root)
     violations += check_tsa_optout(root)
+    violations += check_hist_catalog(root)
     if violations:
         print(f"{len(violations)} invariant violation(s):", file=sys.stderr)
         for v in violations:
             print(f"  {v}", file=sys.stderr)
         return 1
-    print("invariants ok: epoch-guard, failpoint catalog, ownership, tsa-optout")
+    print("invariants ok: epoch-guard, failpoint catalog, ownership, "
+          "tsa-optout, hist-catalog")
     return 0
 
 

@@ -1,7 +1,9 @@
 #include "cc/mv_engine.h"
 
 #include "log/log_segment.h"
+#include "obs/slow_txn.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -39,6 +41,8 @@ Stat AbortStat(AbortReason reason) {
 
 MVEngine::MVEngine(MVEngineOptions options)
     : options_(options),
+      hists_(options_.enable_latency_histograms),
+      slow_txn_ticks_(obs::SlowTxnThresholdTicks(options_.slow_txn_us)),
       txn_pool_(options_.use_slab_allocator, &stats_),
       ts_gen_(options_.ts_block_size) {
   catalog_.ConfigureMemory(
@@ -58,9 +62,11 @@ MVEngine::MVEngine(MVEngineOptions options)
     }
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink,
-                                     options_.group_commit_us, &stats_);
+                                     options_.group_commit_us, &stats_,
+                                     &hists_);
   gc_ = std::make_unique<GarbageCollector>(txn_table_, epoch_, stats_,
                                            options_.gc_interval_us);
+  gc_->SetHistograms(&hists_);
   gc_->SetNowSource(
       [](void* arg) {
         return static_cast<TimestampGenerator*>(arg)->Current() + 1;
@@ -113,6 +119,12 @@ Transaction* MVEngine::Begin(IsolationLevel isolation, bool pessimistic,
   }
   Transaction* txn =
       txn_pool_.Acquire(id_gen_.Next(), isolation, pessimistic, read_only);
+  // Sampled commit-pipeline tracing: the decision rides start_ticks so a
+  // sampled transaction gets a coherent whole-pipeline trace. slow_txn_us
+  // forces every commit to be timed (see obs::SampleThisTxn).
+  if (hists_.enabled() && (slow_txn_ticks_ != 0 || obs::SampleThisTxn())) {
+    txn->start_ticks = obs::NowTicks();
+  }
   // Publish with begin_ts == 0 first: the GC watermark treats an unknown
   // begin timestamp as "could be anything", so no version this transaction
   // might see can be reclaimed in the window before the timestamp is set.
@@ -1074,6 +1086,16 @@ void MVEngine::Abort(Transaction* txn) {
 Status MVEngine::Commit(Transaction* txn) {
   // No epoch guard across this function: it contains blocking waits, and
   // pinning an epoch while blocked would stall reclamation engine-wide.
+  //
+  // Phase timing (docs/OBSERVABILITY.md): one NowTicks() read per phase
+  // boundary on the transactions Begin() picked for tracing (1 in 32 per
+  // thread — see obs::SampleThisTxn; slow_txn_us forces every commit),
+  // nothing but this branch otherwise. Validate = entry through the
+  // commit-dep wait; log append = WriteLog minus the group-commit wait the
+  // Logger measures itself.
+  const bool timed = slow_txn_ticks_ != 0 ||
+                     (txn->start_ticks != 0 && hists_.enabled());
+  const uint64_t t_enter = timed ? obs::NowTicks() : 0;
   if (txn->abort_now.load(std::memory_order_acquire)) {
     return DoAbort(txn, KillReason(txn));
   }
@@ -1129,9 +1151,19 @@ Status MVEngine::Commit(Transaction* txn) {
   if (txn->abort_now.load(std::memory_order_acquire)) {
     return DoAbort(txn, KillReason(txn));
   }
+  const uint64_t t_validated = timed ? obs::NowTicks() : 0;
 
   // Log and commit.
   WriteLog(txn);
+  // Append resets the thread-local wait on entry; guard against commits
+  // whose WriteLog never reached Append (empty write set, disabled or
+  // paused logger) reading a previous commit's wait.
+  const uint64_t group_wait_ticks =
+      (timed && !txn->write_set.empty() &&
+       logger_->mode() != LogMode::kDisabled && !logger_->replay_paused())
+          ? Logger::LastGroupWaitTicks()
+          : 0;
+  const uint64_t t_logged = timed ? obs::NowTicks() : 0;
   txn->state.store(TxnState::kCommitted, std::memory_order_seq_cst);
   {
     EpochGuard guard(epoch_);
@@ -1139,8 +1171,34 @@ Status MVEngine::Commit(Transaction* txn) {
   }
   Postprocess(txn, /*committed=*/true);
   stats_.Add(Stat::kTxnCommitted);
+  const uint64_t writes = txn->write_set.size();
+  const TxnId txn_id = txn->id;
+  const uint64_t start_ticks = txn->start_ticks;
   Terminate(txn, /*committed=*/true);
   gc_->Cooperate(options_.cooperative_gc_budget);
+  if (timed) {
+    const uint64_t t_done = obs::NowTicks();
+    const uint64_t total = t_done - t_enter;
+    const uint64_t log_span = t_logged - t_validated;
+    hists_.Record(obs::Hist::kCommitTotal, total);
+    hists_.Record(obs::Hist::kCommitValidate, t_validated - t_enter);
+    hists_.Record(obs::Hist::kCommitLogAppend,
+                  log_span - std::min(log_span, group_wait_ticks));
+    if (start_ticks != 0) {
+      hists_.Record(obs::Hist::kTxnLifetime, t_done - start_ticks);
+    }
+    if (slow_txn_ticks_ != 0 && total >= slow_txn_ticks_) {
+      obs::CommitTrace trace;
+      trace.scheme = "mv";
+      trace.txn_id = txn_id;
+      trace.total_ticks = total;
+      trace.validate_ticks = t_validated - t_enter;
+      trace.log_append_ticks = log_span - std::min(log_span, group_wait_ticks);
+      trace.group_wait_ticks = group_wait_ticks;
+      trace.writes = writes;
+      obs::LogSlowTxn(trace, &stats_);
+    }
+  }
   return Status::OK();
 }
 

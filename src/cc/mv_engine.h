@@ -24,6 +24,7 @@
 #include "gc/garbage_collector.h"
 #include "log/logger.h"
 #include "mem/object_pool.h"
+#include "obs/histogram.h"
 #include "storage/table.h"
 #include "txn/timestamp.h"
 #include "txn/transaction.h"
@@ -70,6 +71,14 @@ struct MVEngineOptions {
   /// heap allocation -- slower, but gives ASan-style tooling full lifetime
   /// visibility.
   bool use_slab_allocator = true;
+
+  /// Record commit-pipeline phase latencies into obs/ histograms
+  /// (docs/OBSERVABILITY.md). Off = Record() is a single relaxed load.
+  bool enable_latency_histograms = true;
+
+  /// Commits slower than this emit one rate-limited slow-txn log line with
+  /// the per-phase breakdown (obs/slow_txn.h); 0 disables.
+  uint64_t slow_txn_us = 0;
 };
 
 /// Callback deciding whether a payload matches a residual predicate.
@@ -166,6 +175,7 @@ class MVEngine {
   TxnTable& txn_table() { return txn_table_; }
   TimestampGenerator& ts_gen() { return ts_gen_; }
   StatsCollector& stats() { return stats_; }
+  obs::LatencyHistograms& hists() { return hists_; }
   GarbageCollector& gc() { return *gc_; }
   Logger& logger() { return *logger_; }
   DeadlockDetector& deadlock_detector() { return *deadlock_; }
@@ -247,8 +257,12 @@ class MVEngine {
 
   MVEngineOptions options_;
   /// stats_ precedes catalog_ and txn_pool_: table slabs and the pool flush
-  /// local counters into it on destruction.
+  /// local counters into it on destruction. hists_ keeps the same position
+  /// for the same reason (the logger records group waits until it dies).
   StatsCollector stats_;
+  obs::LatencyHistograms hists_;
+  /// Precomputed SlowTxnThresholdTicks(options_.slow_txn_us); 0 = disabled.
+  uint64_t slow_txn_ticks_ = 0;
   Catalog catalog_;
   ObjectPool<Transaction> txn_pool_;
   EpochManager epoch_;

@@ -361,6 +361,14 @@ Status MVClient::Stats(std::string* text) {
   return s;
 }
 
+Status MVClient::Metrics(std::string* text) {
+  std::vector<uint8_t> payload;
+  Status s = Roundtrip(Opcode::kMetrics, {}, &payload, /*idempotent=*/true);
+  if (!s.ok()) return s;
+  text->assign(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return s;
+}
+
 Status MVClient::Promote(bool force) {
   std::vector<uint8_t> body;
   wire::Put(&body, static_cast<uint8_t>(force ? 1 : 0));

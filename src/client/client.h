@@ -133,6 +133,9 @@ class MVClient {
               std::vector<uint8_t>* result = nullptr);
   /// Server + engine counters as "name=value" lines.
   Status Stats(std::string* text);
+  /// Prometheus text exposition (counters, latency histograms, gauges);
+  /// docs/OBSERVABILITY.md has the catalog and a scrape example.
+  Status Metrics(std::string* text);
   /// Promote the follower behind this session into a writable leader
   /// (docs/REPLICATION.md). kUnavailable when it never caught up and
   /// `force` is false; kInvalidArgument when the server is not a follower.

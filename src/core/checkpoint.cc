@@ -91,6 +91,8 @@ Status ValidateCheckpoint(const std::vector<uint8_t>& bytes,
 
 Status Checkpointer::Take(CheckpointStats* stats) {
   if (options_.path.empty()) return Status::InvalidArgument();
+  obs::LatencyHistograms& hists = db_.hists();
+  const uint64_t t_start = hists.enabled() ? obs::NowTicks() : 0;
   // One checkpoint pass at a time per database: concurrent passes would
   // interleave writes into the same temp file and publish a corrupt
   // checkpoint after its predecessor's covered segments were deleted.
@@ -209,6 +211,7 @@ Status Checkpointer::Take(CheckpointStats* stats) {
     if (size_ec) stats->bytes = 0;
     stats->segments_deleted = deleted;
   }
+  if (t_start != 0) hists.RecordSince(obs::Hist::kCheckpoint, t_start);
   return Status::OK();
 }
 

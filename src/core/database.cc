@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mvstore {
@@ -15,6 +16,8 @@ Database::Database(DatabaseOptions options)
     sv.log_segment_bytes = options_.log_segment_bytes;
     sv.group_commit_us = options_.group_commit_us;
     sv.use_slab_allocator = options_.use_slab_allocator;
+    sv.enable_latency_histograms = options_.enable_latency_histograms;
+    sv.slow_txn_us = options_.slow_txn_us;
     sv_ = std::make_unique<SVEngine>(sv);
   } else {
     MVEngineOptions mv;
@@ -28,6 +31,8 @@ Database::Database(DatabaseOptions options)
     mv.deadlock_interval_us = options_.deadlock_interval_us;
     mv.ts_block_size = options_.ts_block_size;
     mv.use_slab_allocator = options_.use_slab_allocator;
+    mv.enable_latency_histograms = options_.enable_latency_histograms;
+    mv.slow_txn_us = options_.slow_txn_us;
     mv_ = std::make_unique<MVEngine>(mv);
   }
   // A dead sink at construction (bad path, permissions, full disk) means
@@ -169,9 +174,12 @@ void Database::Abort(Txn* txn) {
 
 Status Database::Read(Txn* txn, TableId table_id, IndexId index_id,
                       uint64_t key, void* out) {
+  obs::LatencyHistograms& h = hists();
+  const uint64_t t_start = h.enabled() ? obs::NowTicks() : 0;
   Status s = txn->mv != nullptr
                  ? mv_->Read(txn->mv, table_id, index_id, key, out)
                  : sv_->Read(txn->sv, table_id, index_id, key, out);
+  if (t_start != 0) h.RecordSince(obs::Hist::kReadLatency, t_start);
   if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
@@ -180,10 +188,13 @@ Status Database::Scan(Txn* txn, TableId table_id, IndexId index_id,
                       uint64_t key,
                       const std::function<bool(const void*)>& residual,
                       const std::function<bool(const void*)>& consumer) {
+  obs::LatencyHistograms& h = hists();
+  const uint64_t t_start = h.enabled() ? obs::NowTicks() : 0;
   Status s =
       txn->mv != nullptr
           ? mv_->Scan(txn->mv, table_id, index_id, key, residual, consumer)
           : sv_->Scan(txn->sv, table_id, index_id, key, residual, consumer);
+  if (t_start != 0) h.RecordSince(obs::Hist::kScanLatency, t_start);
   if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
@@ -192,20 +203,26 @@ Status Database::ScanRange(Txn* txn, TableId table_id, IndexId index_id,
                            uint64_t lo, uint64_t hi,
                            const std::function<bool(const void*)>& residual,
                            const std::function<bool(const void*)>& consumer) {
+  obs::LatencyHistograms& h = hists();
+  const uint64_t t_start = h.enabled() ? obs::NowTicks() : 0;
   Status s = txn->mv != nullptr
                  ? mv_->ScanRange(txn->mv, table_id, index_id, lo, hi,
                                   residual, consumer)
                  : sv_->ScanRange(txn->sv, table_id, index_id, lo, hi,
                                   residual, consumer);
+  if (t_start != 0) h.RecordSince(obs::Hist::kScanLatency, t_start);
   if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
 
 Status Database::ScanTable(Txn* txn, TableId table_id,
                            const std::function<bool(const void*)>& consumer) {
+  obs::LatencyHistograms& h = hists();
+  const uint64_t t_start = h.enabled() ? obs::NowTicks() : 0;
   Status s = txn->mv != nullptr
                  ? mv_->ScanTable(txn->mv, table_id, consumer)
                  : sv_->ScanTable(txn->sv, table_id, consumer);
+  if (t_start != 0) h.RecordSince(obs::Hist::kScanLatency, t_start);
   if (s.IsAborted()) ReleaseTxn(txn);
   return s;
 }
@@ -270,6 +287,10 @@ StatsCollector& Database::stats() {
   return mv_ != nullptr ? mv_->stats() : sv_->stats();
 }
 
+obs::LatencyHistograms& Database::hists() {
+  return mv_ != nullptr ? mv_->hists() : sv_->hists();
+}
+
 std::vector<std::pair<std::string, uint64_t>> Database::CounterSnapshot() {
   StatsCollector& s = stats();
   std::vector<std::pair<std::string, uint64_t>> out;
@@ -278,6 +299,9 @@ std::vector<std::pair<std::string, uint64_t>> Database::CounterSnapshot() {
     out.emplace_back(StatName(static_cast<Stat>(i)),
                      s.Get(static_cast<Stat>(i)));
   }
+  // Sorted by name (the stable-name scrape contract, docs/API.md): scrapers
+  // diff consecutive snapshots line-by-line.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -92,6 +92,15 @@ struct DatabaseOptions {
   /// object lifetimes from the tools; tests that target the slabs opt back
   /// in.
   bool use_slab_allocator = !kSanitizerBuild;
+
+  /// Observability (src/obs/, docs/OBSERVABILITY.md). On: commit-pipeline
+  /// phases, txn lifetime, read/scan, GC, checkpoint and recovery latencies
+  /// are recorded into striped histograms, exposed through MetricsText /
+  /// the kMetrics wire opcode. Off: every Record() is one relaxed load.
+  bool enable_latency_histograms = true;
+  /// Commits slower than this (microseconds) emit one rate-limited
+  /// structured stderr line with the per-phase breakdown; 0 disables.
+  uint64_t slow_txn_us = 0;
 };
 
 /// Opaque transaction handle; owned by the Database between Begin and
@@ -295,9 +304,15 @@ class Database {
 
   StatsCollector& stats();
 
-  /// All engine counters (StatName order), including zeros, as name/value
-  /// pairs — one uniform shape for the server's STATS procedure to merge
-  /// with its own session counters.
+  /// The engine's latency histograms (src/obs/histogram.h). Always valid;
+  /// inert when options.enable_latency_histograms is false.
+  obs::LatencyHistograms& hists();
+
+  /// All engine counters, including zeros, as name/value pairs — one
+  /// uniform shape for the server's STATS procedure to merge with its own
+  /// session counters. Sorted by name: the names are a stable scrape
+  /// contract (docs/API.md), and sorted output lets scrapers diff two
+  /// snapshots line-by-line.
   std::vector<std::pair<std::string, uint64_t>> CounterSnapshot();
   /// MV engines only (nullptr under 1V): direct access for tests/benches.
   MVEngine* mv_engine() { return mv_.get(); }

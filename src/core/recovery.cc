@@ -186,6 +186,8 @@ Status ApplyOps(Database& db, const std::vector<const ParsedLogOp*>& ops,
 
 Status ReplayRecords(Database& db, std::vector<ParsedLogRecord> records,
                      const ReplayOptions& options, RecoveryReport* report) {
+  obs::LatencyHistograms& hists = db.hists();
+  const uint64_t t_start = hists.enabled() ? obs::NowTicks() : 0;
   // End-timestamp order is the paper's commit order; every worker stream
   // below preserves it per key.
   std::stable_sort(records.begin(), records.end(),
@@ -266,6 +268,7 @@ Status ReplayRecords(Database& db, std::vector<ParsedLogRecord> records,
     report->idempotent_applies += idempotent_total;
     report->max_timestamp = std::max(report->max_timestamp, max_ts);
   }
+  if (t_start != 0) hists.RecordSince(obs::Hist::kRecoveryReplay, t_start);
   return Status::OK();
 }
 

@@ -79,6 +79,8 @@ uint32_t GarbageCollector::Cooperate(uint32_t budget) {
 
 uint64_t GarbageCollector::RunOnce() {
   MutexLock lock(run_once_mutex_);
+  const uint64_t t_start =
+      (hists_ != nullptr && hists_->enabled()) ? obs::NowTicks() : 0;
   Timestamp now = now_fn_ != nullptr ? now_fn_(now_arg_) : kInfinity;
   Timestamp watermark = Watermark(now);
   uint64_t total = 0;
@@ -94,6 +96,7 @@ uint64_t GarbageCollector::RunOnce() {
   while (drains_in_flight_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
+  if (t_start != 0) hists_->RecordSince(obs::Hist::kGcPass, t_start);
   return total;
 }
 

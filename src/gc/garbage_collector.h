@@ -24,6 +24,7 @@
 #include "common/spin_latch.h"
 #include "common/timing.h"
 #include "common/types.h"
+#include "obs/histogram.h"
 #include "storage/table.h"
 #include "txn/txn_table.h"
 #include "util/epoch.h"
@@ -87,6 +88,10 @@ class GarbageCollector {
     now_arg_ = arg;
   }
 
+  /// Record full-pass durations into `hists` (gc_pass; may be null). Set
+  /// before Start(), unsynchronized otherwise.
+  void SetHistograms(obs::LatencyHistograms* hists) { hists_ = hists; }
+
  private:
   struct Item {
     Table* table;
@@ -117,6 +122,7 @@ class GarbageCollector {
 
   Timestamp (*now_fn_)(void*) = nullptr;
   void* now_arg_ = nullptr;
+  obs::LatencyHistograms* hists_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::thread thread_;

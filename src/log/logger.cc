@@ -72,10 +72,11 @@ void FileLogSink::Sync() {
 }
 
 Logger::Logger(LogMode mode, LogSink* sink, uint32_t group_commit_us,
-               StatsCollector* stats)
+               StatsCollector* stats, obs::LatencyHistograms* hists)
     : mode_(mode),
       group_commit_us_(group_commit_us),
       stats_(stats),
+      hists_(hists),
       sink_(sink) {
   if (mode_ == LogMode::kDisabled) return;
   running_.store(true, std::memory_order_release);
@@ -112,7 +113,15 @@ void Logger::NotifyObserver(const uint8_t* data, size_t size) {
   if (observer_ != nullptr) observer_->OnFlushedBatch(data, size);
 }
 
+namespace {
+/// Most recent kSync wait of this thread (see Logger::LastGroupWaitTicks).
+thread_local uint64_t tl_last_group_wait_ticks = 0;
+}  // namespace
+
+uint64_t Logger::LastGroupWaitTicks() { return tl_last_group_wait_ticks; }
+
 void Logger::Append(const std::vector<uint8_t>& record) {
+  tl_last_group_wait_ticks = 0;
   if (mode_ == LogMode::kDisabled || record.empty()) return;
   uint64_t my_lsn;
   {
@@ -134,8 +143,15 @@ void Logger::Append(const std::vector<uint8_t>& record) {
     flusher_cv_.NotifyOne();
   }
   if (mode_ == LogMode::kSync) {
-    MutexLock lock(mutex_);
-    while (flushed_lsn_ < my_lsn) commit_cv_.Wait(lock);
+    const uint64_t wait_start = obs::NowTicks();
+    {
+      MutexLock lock(mutex_);
+      while (flushed_lsn_ < my_lsn) commit_cv_.Wait(lock);
+    }
+    tl_last_group_wait_ticks = obs::NowTicks() - wait_start;
+    if (hists_ != nullptr) {
+      hists_->Record(obs::Hist::kCommitGroupWait, tl_last_group_wait_ticks);
+    }
   }
 }
 

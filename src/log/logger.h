@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "log/log_record.h"
+#include "obs/histogram.h"
 
 namespace mvstore {
 
@@ -135,7 +136,8 @@ class Logger {
   /// count, so mean group size = sum / commits. 0 keeps the pre-window
   /// behavior: the flusher swaps the buffer as soon as it wakes.
   Logger(LogMode mode, LogSink* sink, uint32_t group_commit_us = 0,
-         StatsCollector* stats = nullptr);
+         StatsCollector* stats = nullptr,
+         obs::LatencyHistograms* hists = nullptr);
   ~Logger();
 
   LogMode mode() const { return mode_; }
@@ -180,6 +182,11 @@ class Logger {
     return records_.load(std::memory_order_relaxed);
   }
 
+  /// Ticks the calling thread spent in its most recent kSync Append wait
+  /// (0 for async/disabled appends). Feeds the slow-txn trace's group-wait
+  /// phase without widening Append's signature.
+  static uint64_t LastGroupWaitTicks();
+
  private:
   friend struct TsaNegativeProbe;  // scripts/tsa_fixtures/ (compile-only)
 
@@ -189,6 +196,7 @@ class Logger {
   const LogMode mode_;
   const uint32_t group_commit_us_;
   StatsCollector* const stats_;
+  obs::LatencyHistograms* const hists_;
   std::unique_ptr<LogSink> sink_;
 
   Mutex mutex_;

@@ -17,9 +17,13 @@ SlabAllocator::SlabAllocator(size_t slot_size, StatsCollector* stats)
       chunk_bytes_(std::max(kMinChunkBytes,
                             slot_size_ * static_cast<size_t>(kTransferBatch))),
       allocator_id_(next_allocator_id.fetch_add(1, std::memory_order_relaxed)),
-      stats_(stats) {}
+      stats_(stats),
+      registry_id_(tls_slots::RegisterOwner(this, &FlushStatsTrampoline)) {}
 
 SlabAllocator::~SlabAllocator() {
+  // Before any member dies: no thread-exit callback may touch a
+  // half-destroyed allocator.
+  tls_slots::UnregisterOwner(registry_id_);
   for (auto& m : magazines_) FlushLocalStats(*m);
   for (void* chunk : chunks_) ::operator delete(chunk);
 }
@@ -28,13 +32,37 @@ SlabAllocator::Magazine& SlabAllocator::RegisterThread(
     std::vector<Magazine*>& registry) {
   auto owned = std::make_unique<Magazine>();
   Magazine* m = owned.get();
+  uint32_t index;
   {
     SpinLatchGuard guard(latch_);
+    index = static_cast<uint32_t>(magazines_.size());
     magazines_.push_back(std::move(owned));
   }
   if (registry.size() <= allocator_id_) registry.resize(allocator_id_ + 1);
   registry[allocator_id_] = m;
+  // Hook thread exit so the magazine's local stat tallies (bounded by
+  // kStatsFlushMask) are folded in when the thread dies, not only when the
+  // allocator is destroyed. A failed Store means this thread's slot cache is
+  // already torn down; the magazine then flushes at allocator destruction as
+  // before.
+  ExitCache::Store(registry_id_, index);
   return *m;
+}
+
+void SlabAllocator::FlushStatsTrampoline(void* owner, uint32_t magazine_index) {
+  auto* self = static_cast<SlabAllocator*>(owner);
+  Magazine* m = nullptr;
+  {
+    SpinLatchGuard guard(self->latch_);
+    if (magazine_index < self->magazines_.size()) {
+      m = self->magazines_[magazine_index].get();
+    }
+  }
+  // The magazine belongs to the exiting thread; nobody else records into it,
+  // so flushing outside the latch is single-writer safe. StatsCollector
+  // falls back to its overflow cell during TLS teardown and never re-enters
+  // the slot registry, which keeps this callback deadlock-free.
+  if (m != nullptr) self->FlushLocalStats(*m);
 }
 
 void SlabAllocator::NewChunkLocked() {

@@ -39,6 +39,7 @@
 #include "common/counters.h"
 #include "common/port.h"
 #include "common/spin_latch.h"
+#include "util/tls_slots.h"
 
 namespace mvstore {
 
@@ -118,10 +119,18 @@ class SlabAllocator {
     return RegisterThread(tl_magazines);
   }
 
+  /// Tag for the thread-exit hook: each registering thread caches its
+  /// magazine's index so the exit callback can flush the sub-kStatsFlushMask
+  /// stat remainders that would otherwise stay invisible until the
+  /// allocator itself is destroyed.
+  struct SlabExitTag {};
+  using ExitCache = TlsSlotCache<SlabExitTag>;
+
   Magazine& RegisterThread(std::vector<Magazine*>& registry);
   void* AllocateSlow(Magazine& m);
   void FlushMagazine(Magazine& m);
   void FlushLocalStats(Magazine& m);
+  static void FlushStatsTrampoline(void* owner, uint32_t magazine_index);
   /// Carve a new chunk.
   void NewChunkLocked() REQUIRES(latch_);
 
@@ -129,6 +138,8 @@ class SlabAllocator {
   const size_t chunk_bytes_;
   const uint32_t allocator_id_;
   StatsCollector* const stats_;
+  /// tls_slots owner id for the thread-exit stat flush.
+  const uint64_t registry_id_;
 
   SpinLatch latch_;
   /// Global freelist spine (latched).

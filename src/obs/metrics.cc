@@ -1,0 +1,74 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mvstore {
+namespace obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+void AppendPromCounter(std::string* out, const std::string& name,
+                       uint64_t value) {
+  char buf[32];
+  *out += "# TYPE " + name + " counter\n";
+  *out += name;
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  *out += buf;
+}
+
+void AppendPromGauge(std::string* out, const std::string& name, double value) {
+  *out += "# TYPE " + name + " gauge\n";
+  *out += name;
+  *out += " ";
+  AppendDouble(out, value);
+  *out += "\n";
+}
+
+void AppendPromHistogram(std::string* out, const std::string& name,
+                         const HistogramData& data) {
+  const double nanos_per_tick = NanosPerTick();
+  const std::string family = "mvstore_" + name + "_seconds";
+  *out += "# TYPE " + family + " histogram\n";
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    if (data.buckets[i] == 0) continue;
+    cumulative += data.buckets[i];
+    double le = static_cast<double>(BucketUpperBound(i)) * nanos_per_tick / 1e9;
+    *out += family + "_bucket{le=\"";
+    AppendDouble(out, le);
+    *out += "\"} " + std::to_string(cumulative) + "\n";
+  }
+  *out += family + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
+  *out += family + "_sum ";
+  AppendDouble(out, static_cast<double>(data.sum) * nanos_per_tick / 1e9);
+  *out += "\n";
+  *out += family + "_count " + std::to_string(data.count) + "\n";
+
+  const std::string quantiles = "mvstore_" + name + "_quantile_seconds";
+  static const struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {
+      {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+  *out += "# TYPE " + quantiles + " gauge\n";
+  for (const auto& quantile : kQuantiles) {
+    *out += quantiles + "{quantile=\"" + quantile.label + "\"} ";
+    AppendDouble(out, static_cast<double>(data.ValueAtQuantile(quantile.q)) *
+                          nanos_per_tick / 1e9);
+    *out += "\n";
+  }
+  AppendPromGauge(out, "mvstore_" + name + "_max_seconds",
+                  static_cast<double>(data.max) * nanos_per_tick / 1e9);
+}
+
+}  // namespace obs
+}  // namespace mvstore

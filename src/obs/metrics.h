@@ -1,0 +1,35 @@
+// Prometheus text-format rendering for the exposition endpoint.
+//
+// ServerCore::MetricsText() composes these helpers into one scrape body
+// (served over the kMetrics wire opcode; `mvclient metrics` fetches it).
+// Conventions, documented in docs/OBSERVABILITY.md:
+//   * counters:   mvstore_<stat>_total
+//   * histograms: mvstore_<hist>_seconds (_bucket/_sum/_count), plus
+//                 mvstore_<hist>_quantile_seconds{quantile="..."} gauges
+//                 and an mvstore_<hist>_max_seconds gauge
+//   * gauges:     mvstore_<name>
+// Ticks convert to seconds here, on the cold path, via NanosPerTick().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace mvstore {
+namespace obs {
+
+void AppendPromCounter(std::string* out, const std::string& name,
+                       uint64_t value);
+
+void AppendPromGauge(std::string* out, const std::string& name, double value);
+
+/// Render one latency histogram family under `mvstore_<name>_seconds`.
+/// Bucket values are recorded ticks; bounds convert to seconds. Empty
+/// buckets are elided (cumulative counts stay valid), +Inf always emitted.
+/// Follows with the quantile gauges (p50/p90/p99/p999) and the max gauge.
+void AppendPromHistogram(std::string* out, const std::string& name,
+                         const HistogramData& data);
+
+}  // namespace obs
+}  // namespace mvstore

@@ -1,0 +1,52 @@
+#include "obs/slow_txn.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/timing.h"
+#include "obs/histogram.h"
+
+namespace mvstore {
+namespace obs {
+
+namespace {
+
+/// Minimum gap between emitted lines (~10 lines/s process-wide).
+constexpr uint64_t kMinGapNanos = 100'000'000;
+
+std::atomic<uint64_t> g_last_log_nanos{0};
+
+}  // namespace
+
+uint64_t SlowTxnThresholdTicks(uint64_t slow_txn_us) {
+  if (slow_txn_us == 0) return 0;
+  uint64_t ticks = MicrosToTicks(slow_txn_us);
+  return ticks == 0 ? 1 : ticks;
+}
+
+bool LogSlowTxn(const CommitTrace& trace, StatsCollector* stats) {
+  uint64_t now = NowNanos();
+  uint64_t last = g_last_log_nanos.load(std::memory_order_relaxed);
+  if (now - last < kMinGapNanos ||
+      !g_last_log_nanos.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+    if (stats != nullptr) stats->Add(Stat::kSlowTxnSuppressed);
+    return false;
+  }
+  std::fprintf(stderr,
+               "mvstore slow_txn scheme=%s txn=%" PRIu64 " total_us=%" PRIu64
+               " validate_us=%" PRIu64 " log_append_us=%" PRIu64
+               " group_wait_us=%" PRIu64 " writes=%" PRIu64 "\n",
+               trace.scheme, trace.txn_id,
+               static_cast<uint64_t>(TicksToMicros(trace.total_ticks)),
+               static_cast<uint64_t>(TicksToMicros(trace.validate_ticks)),
+               static_cast<uint64_t>(TicksToMicros(trace.log_append_ticks)),
+               static_cast<uint64_t>(TicksToMicros(trace.group_wait_ticks)),
+               trace.writes);
+  if (stats != nullptr) stats->Add(Stat::kSlowTxnLogged);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace mvstore

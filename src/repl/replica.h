@@ -126,8 +126,9 @@ class Replica : public ReplicaGate {
   /// leader's death" by the counter holding at N.
   uint64_t attaches() const { return attaches_.load(std::memory_order_relaxed); }
   /// Leader commit clock as of the last handshake/heartbeat — replayed_ts()
-  /// lagging this bounds observed staleness.
-  Timestamp leader_ts() const {
+  /// lagging this bounds observed staleness (and their difference is the
+  /// replication-lag gauge the metrics exposition publishes).
+  Timestamp leader_ts() override {
     return leader_ts_.load(std::memory_order_acquire);
   }
   uint64_t batches_applied() const {

@@ -255,7 +255,12 @@ struct ReplShipper::Impl : public CommitObserver {
     if (!options.sync) return;
     // Hold the committers until every attached follower has the batch on
     // its disk — the zero-acked-loss contract. A follower that cannot keep
-    // up within the timeout is dropped, not waited on forever.
+    // up within the timeout is dropped, not waited on forever. The wait is
+    // the repl_ack_wait histogram span: it runs on the leader's flusher
+    // thread, inside the group-commit window every kSync committer of this
+    // batch is blocked on.
+    obs::LatencyHistograms& hists = db.hists();
+    const uint64_t t_wait = hists.enabled() ? obs::NowTicks() : 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(options.ack_timeout_ms);
     while (!stopping.load(std::memory_order_acquire)) {
@@ -274,6 +279,7 @@ struct ReplShipper::Impl : public CommitObserver {
         break;
       }
     }
+    if (t_wait != 0) hists.RecordSince(obs::Hist::kReplAckWait, t_wait);
   }
 
   // --- acceptor -------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "server/server_core.h"
 
+#include "obs/metrics.h"
 #include "server/session.h"
 
 namespace mvstore {
@@ -86,6 +87,55 @@ std::string ServerCore::StatsText() {
     out += "=";
     out += std::to_string(value);
     out += "\n";
+  }
+  return out;
+}
+
+std::string ServerCore::MetricsText() {
+  std::string out;
+  // Engine counters: CounterSnapshot is sorted by name (stable contract).
+  for (const auto& [name, value] : db_.CounterSnapshot()) {
+    obs::AppendPromCounter(&out, "mvstore_" + name + "_total", value);
+  }
+  // Service counters.
+  obs::AppendPromCounter(&out, "mvstore_server_sessions_opened_total",
+                         sessions_opened.load(std::memory_order_relaxed));
+  obs::AppendPromCounter(&out, "mvstore_server_sessions_refused_total",
+                         sessions_refused.load(std::memory_order_relaxed));
+  obs::AppendPromCounter(&out, "mvstore_server_frames_processed_total",
+                         frames_processed.load(std::memory_order_relaxed));
+  obs::AppendPromCounter(&out, "mvstore_server_frames_rejected_total",
+                         frames_rejected.load(std::memory_order_relaxed));
+  obs::AppendPromCounter(
+      &out, "mvstore_server_requests_unavailable_total",
+      requests_unavailable.load(std::memory_order_relaxed));
+  // Gauges.
+  obs::AppendPromGauge(&out, "mvstore_server_sessions_active",
+                       active_sessions());
+  obs::AppendPromGauge(&out, "mvstore_read_only", db_.read_only() ? 1 : 0);
+  if (ReplicaGate* gate = replica()) {
+    const Timestamp replayed = gate->replayed_ts();
+    const Timestamp leader = gate->leader_ts();
+    obs::AppendPromGauge(&out, "mvstore_repl_writable",
+                         gate->writable() ? 1 : 0);
+    obs::AppendPromGauge(&out, "mvstore_repl_ready", gate->ready() ? 1 : 0);
+    obs::AppendPromGauge(&out, "mvstore_repl_replayed_ts",
+                         static_cast<double>(replayed));
+    obs::AppendPromGauge(&out, "mvstore_repl_leader_ts",
+                         static_cast<double>(leader));
+    // Commit timestamps the follower still has to replay. Timestamps are
+    // the engine's logical clock, not wall time.
+    obs::AppendPromGauge(
+        &out, "mvstore_repl_lag_timestamps",
+        leader > replayed ? static_cast<double>(leader - replayed) : 0);
+  }
+  // Latency histograms, each with _bucket/_sum/_count, quantile gauges and
+  // a max gauge (units: seconds).
+  obs::LatencyHistograms& hists = db_.hists();
+  for (uint32_t h = 0; h < static_cast<uint32_t>(obs::Hist::kNumHists); ++h) {
+    const obs::Hist hist = static_cast<obs::Hist>(h);
+    obs::AppendPromHistogram(&out, obs::HistName(hist),
+                             hists.Snapshot(hist));
   }
   return out;
 }

@@ -51,6 +51,10 @@ class ReplicaGate {
   /// Seal the replicated tail and turn this follower into a writable
   /// leader. `force` skips the never-attached guard.
   virtual Status Promote(bool force) = 0;
+  /// Last commit timestamp the leader advertised (handshake/heartbeat);
+  /// leader_ts() - replayed_ts() is the replication-lag gauge MetricsText
+  /// exposes. 0 when unknown (default for gates that don't track it).
+  virtual Timestamp leader_ts() { return 0; }
 };
 
 struct ServerCoreOptions {
@@ -100,8 +104,15 @@ class ServerCore {
 
   /// Service + engine counters as "name=value" lines: the server's own
   /// counters prefixed "server.", then Database::CounterSnapshot() — one
-  /// uniform report for the STATS opcode.
+  /// uniform report for the STATS opcode. Counter lines are sorted by name
+  /// within each group (the stable-name contract, docs/API.md).
   std::string StatsText();
+
+  /// Prometheus text exposition for the kMetrics opcode: engine counters,
+  /// latency histograms with quantile gauges, server/service gauges, and —
+  /// when a replica gate is attached — the replication-lag gauge
+  /// (leader_ts - replayed_ts). docs/OBSERVABILITY.md has the catalog.
+  std::string MetricsText();
 
   /// --- service counters -------------------------------------------------------
 

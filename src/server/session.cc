@@ -304,6 +304,14 @@ void Session::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
       return;
     }
 
+    case Opcode::kMetrics: {
+      std::string text = core_.MetricsText();
+      AppendResponse(out, frame.opcode, Status::OK(),
+                     reinterpret_cast<const uint8_t*>(text.data()),
+                     text.size());
+      return;
+    }
+
     case Opcode::kBye:
       // Server-to-client only; as a request it is protocol misuse, but the
       // frame itself was well-formed, so answer and keep the connection.

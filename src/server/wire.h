@@ -35,6 +35,9 @@
 //   kCall        proc_id (4B) | argument bytes        -> procedure result
 //   kResolve     procedure name bytes                 -> proc_id (4B)
 //   kStats       -                                    -> "name=value\n" text
+//   kMetrics     -                                    -> Prometheus text
+//                exposition (counters, latency histograms with quantiles,
+//                gauges; docs/OBSERVABILITY.md has the catalog).
 //   kBye         (server->client only) sent with kFlagFatal before the
 //                server closes a refused or shutting-down connection; its
 //                status explains why (kUnavailable).
@@ -96,8 +99,11 @@ enum class Opcode : uint8_t {
   kReplHeartbeat,
   kReplAck,
   kReplPromote,
+  // Appended after the repl block so existing opcode values stay stable
+  // across mixed-version client/server pairs.
+  kMetrics,
 };
-constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kReplPromote);
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kMetrics);
 
 /// Replication protocol version carried in kReplHandshake.
 constexpr uint8_t kReplProtoVersion = 1;

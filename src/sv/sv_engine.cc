@@ -1,14 +1,18 @@
 #include "sv/sv_engine.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "log/log_record.h"
 #include "log/log_segment.h"
+#include "obs/slow_txn.h"
 
 namespace mvstore {
 
 SVEngine::SVEngine(SVEngineOptions options)
     : options_(options),
+      hists_(options_.enable_latency_histograms),
+      slow_txn_ticks_(obs::SlowTxnThresholdTicks(options_.slow_txn_us)),
       txn_pool_(options_.use_slab_allocator, &stats_) {
   catalog_.ConfigureMemory(
       Table::MemoryOptions{options_.use_slab_allocator, &stats_, &epoch_});
@@ -27,7 +31,8 @@ SVEngine::SVEngine(SVEngineOptions options)
     }
   }
   logger_ = std::make_unique<Logger>(options_.log_mode, sink,
-                                     options_.group_commit_us, &stats_);
+                                     options_.group_commit_us, &stats_,
+                                     &hists_);
 }
 
 SVEngine::~SVEngine() {
@@ -67,8 +72,14 @@ SVTransaction* SVEngine::Begin(IsolationLevel isolation, bool read_only) {
   if (isolation == IsolationLevel::kSnapshot) {
     isolation = IsolationLevel::kRepeatableRead;
   }
-  return txn_pool_.Acquire(
+  SVTransaction* txn = txn_pool_.Acquire(
       next_txn_id_.fetch_add(1, std::memory_order_relaxed), isolation);
+  // Sampled commit-pipeline tracing, same policy as the MV engine: the
+  // decision rides start_ticks; slow_txn_us forces every commit timed.
+  if (hists_.enabled() && (slow_txn_ticks_ != 0 || obs::SampleThisTxn())) {
+    txn->start_ticks = obs::NowTicks();
+  }
+  return txn;
 }
 
 Status SVEngine::AcquireLock(SVTransaction* txn, SVLockTable& locks,
@@ -466,7 +477,18 @@ void SVEngine::WriteLog(SVTransaction* txn) {
 }
 
 Status SVEngine::Commit(SVTransaction* txn) {
+  // Phase timing (docs/OBSERVABILITY.md): 1V has no validation phase, so
+  // commit_total decomposes into log append + group wait + release.
+  const bool timed = slow_txn_ticks_ != 0 ||
+                     (txn->start_ticks != 0 && hists_.enabled());
+  const uint64_t t_enter = timed ? obs::NowTicks() : 0;
   WriteLog(txn);
+  const uint64_t group_wait_ticks =
+      (timed && !txn->undo.empty() &&
+       logger_->mode() != LogMode::kDisabled && !logger_->replay_paused())
+          ? Logger::LastGroupWaitTicks()
+          : 0;
+  const uint64_t t_logged = timed ? obs::NowTicks() : 0;
   // Deleted rows become unreachable only now; concurrent scans of other keys
   // may still traverse them, so retire through the epoch manager.
   for (const auto& u : txn->undo) {
@@ -476,7 +498,31 @@ Status SVEngine::Commit(SVTransaction* txn) {
   }
   ReleaseAllLocks(txn);
   stats_.Add(Stat::kTxnCommitted);
+  const uint64_t writes = txn->undo.size();
+  const TxnId txn_id = txn->id;
+  const uint64_t start_ticks = txn->start_ticks;
   txn_pool_.Release(txn);
+  if (timed) {
+    const uint64_t t_done = obs::NowTicks();
+    const uint64_t total = t_done - t_enter;
+    const uint64_t log_span = t_logged - t_enter;
+    hists_.Record(obs::Hist::kCommitTotal, total);
+    hists_.Record(obs::Hist::kCommitLogAppend,
+                  log_span - std::min(log_span, group_wait_ticks));
+    if (start_ticks != 0) {
+      hists_.Record(obs::Hist::kTxnLifetime, t_done - start_ticks);
+    }
+    if (slow_txn_ticks_ != 0 && total >= slow_txn_ticks_) {
+      obs::CommitTrace trace;
+      trace.scheme = "sv";
+      trace.txn_id = txn_id;
+      trace.total_ticks = total;
+      trace.log_append_ticks = log_span - std::min(log_span, group_wait_ticks);
+      trace.group_wait_ticks = group_wait_ticks;
+      trace.writes = writes;
+      obs::LogSlowTxn(trace, &stats_);
+    }
+  }
   return Status::OK();
 }
 

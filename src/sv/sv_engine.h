@@ -37,6 +37,7 @@
 #include "common/types.h"
 #include "log/logger.h"
 #include "mem/object_pool.h"
+#include "obs/histogram.h"
 #include "storage/table.h"
 #include "sv/lock_table.h"
 #include "util/epoch.h"
@@ -58,6 +59,14 @@ struct SVEngineOptions {
   /// Recycle row slots through per-table slabs and transaction objects
   /// through a pool (mem/); off = plain heap (debug fallback).
   bool use_slab_allocator = true;
+
+  /// Record commit-pipeline phase latencies into obs/ histograms
+  /// (docs/OBSERVABILITY.md). Off = Record() is a single relaxed load.
+  bool enable_latency_histograms = true;
+
+  /// Commits slower than this emit one rate-limited slow-txn log line with
+  /// the per-phase breakdown (obs/slow_txn.h); 0 disables.
+  uint64_t slow_txn_us = 0;
 };
 
 /// Single-version transaction handle.
@@ -72,6 +81,7 @@ class SVTransaction {
   void Reset(TxnId new_id, IsolationLevel new_isolation) {
     id = new_id;
     isolation = new_isolation;
+    start_ticks = 0;
     locks.clear();
     range_locks.clear();
     undo.clear();
@@ -79,6 +89,9 @@ class SVTransaction {
 
   TxnId id = 0;
   IsolationLevel isolation = IsolationLevel::kReadCommitted;
+  /// obs::NowTicks() at Begin (owning thread only; feeds the txn_lifetime
+  /// histogram at commit). 0 when histograms are disabled.
+  uint64_t start_ticks = 0;
 
   struct LockEntry {
     KeyLock* lock;
@@ -163,6 +176,7 @@ class SVEngine {
   void Abort(SVTransaction* txn);
 
   StatsCollector& stats() { return stats_; }
+  obs::LatencyHistograms& hists() { return hists_; }
   EpochManager& epoch() { return epoch_; }
   Logger& logger() { return *logger_; }
   const SVEngineOptions& options() const { return options_; }
@@ -221,8 +235,12 @@ class SVEngine {
 
   SVEngineOptions options_;
   /// stats_ precedes catalog_ and txn_pool_: table slabs and the pool flush
-  /// local counters into it on destruction.
+  /// local counters into it on destruction. hists_ keeps the same position
+  /// for the same reason (the logger records group waits until it dies).
   StatsCollector stats_;
+  obs::LatencyHistograms hists_;
+  /// Precomputed SlowTxnThresholdTicks(options_.slow_txn_us); 0 = disabled.
+  uint64_t slow_txn_ticks_ = 0;
   Catalog catalog_;
   ObjectPool<SVTransaction> txn_pool_;
   std::vector<std::unique_ptr<SVLockTable>> lock_tables_;  // [table][index]

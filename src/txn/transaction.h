@@ -132,6 +132,7 @@ class Transaction {
     isolation = new_isolation;
     pessimistic = new_pessimistic;
     read_only = new_read_only;
+    start_ticks = 0;
     state.store(TxnState::kActive, std::memory_order_relaxed);
     begin_ts.store(0, std::memory_order_relaxed);
     end_ts.store(0, std::memory_order_relaxed);
@@ -163,6 +164,9 @@ class Transaction {
   bool pessimistic = false;
   /// Hint only: read-only transactions skip write-side bookkeeping.
   bool read_only = false;
+  /// obs::NowTicks() at Begin (owning thread only; feeds the txn_lifetime
+  /// histogram at commit). 0 when histograms are disabled.
+  uint64_t start_ticks = 0;
 
   std::atomic<TxnState> state{TxnState::kActive};
   std::atomic<Timestamp> begin_ts{0};

@@ -99,6 +99,26 @@ TEST(SlabAllocatorTest, ExportsCounters) {
   EXPECT_GT(stats.Get(Stat::kSlabMagazineMisses), 0u);
 }
 
+TEST(SlabAllocatorTest, ThreadExitFlushesSubThresholdTallies) {
+  StatsCollector stats;
+  SlabAllocator slab(128, &stats);
+  // A handful of hot-path events, all after the thread's last slow path
+  // (the first Allocate refills the magazine and flushes local tallies;
+  // everything after stays below kStatsFlushMask and never fills or drains
+  // the magazine). These tallies are visible only if the thread-exit hook
+  // flushes the magazine — the allocator is still alive, so the
+  // destructor's catch-all has not run.
+  std::thread worker([&slab] {
+    void* slots[8];
+    for (int i = 0; i < 8; ++i) slots[i] = slab.Allocate();
+    for (int i = 0; i < 8; ++i) slab.Free(slots[i]);
+  });
+  worker.join();
+  // First Allocate is the refilling miss, the next 7 pop from the magazine.
+  EXPECT_EQ(stats.Get(Stat::kSlabMagazineHits), 7u);
+  EXPECT_EQ(stats.Get(Stat::kSlabSlotsRecycled), 8u);
+}
+
 /// ---------------------------------------------------------------------------
 /// Version placement-reinitialization on a recycled slot
 /// ---------------------------------------------------------------------------

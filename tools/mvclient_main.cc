@@ -16,10 +16,19 @@
 //                             writable leader; `force` promotes even a
 //                             follower that never attached to its leader
 //                             (accepting whatever it replayed so far)
+//   metrics                   print the Prometheus text exposition
+//                             (docs/OBSERVABILITY.md has the catalog)
+//   top [N [INTERVAL_MS]]     poll metrics N times (default forever) at
+//                             INTERVAL_MS (default 1000), rendering commit
+//                             throughput and latency quantile deltas
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/client.h"
@@ -38,7 +47,7 @@ const char* FlagValue(int argc, char** argv, const char* name) {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvclient [--host H] [--port P] "
-               "ping|stats|resolve|call|get|bench|promote ...\n");
+               "ping|stats|metrics|top|resolve|call|get|bench|promote ...\n");
   return 1;
 }
 
@@ -59,6 +68,83 @@ std::vector<uint8_t> ProcArg(uint64_t seed, uint8_t iso) {
   std::memcpy(arg.data(), &seed, 8);
   arg[8] = iso;
   return arg;
+}
+
+/// Prometheus text parsed into series-name (labels included) -> value.
+std::map<std::string, double> ParseMetrics(const std::string& text) {
+  std::map<std::string, double> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text[pos] != '#') {
+      size_t sp = text.rfind(' ', eol);
+      if (sp != std::string::npos && sp > pos) {
+        out[text.substr(pos, sp - pos)] =
+            std::strtod(text.c_str() + sp + 1, nullptr);
+      }
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+double MetricValue(const std::map<std::string, double>& m,
+                   const std::string& name) {
+  auto it = m.find(name);
+  return it != m.end() ? it->second : 0.0;
+}
+
+/// Per-bucket (non-cumulative) counts of `mvstore_<hist>_seconds`, keyed by
+/// the bucket's `le` upper bound. Elided (empty) bucket rows come back as
+/// implicit zeros, so two samples diff cleanly even when their emitted
+/// bucket sets differ.
+std::map<double, double> BucketCounts(const std::map<std::string, double>& m,
+                                      const std::string& hist) {
+  const std::string prefix = "mvstore_" + hist + "_seconds_bucket{le=\"";
+  std::map<double, double> cumulative;
+  for (auto it = m.lower_bound(prefix);
+       it != m.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    cumulative[std::strtod(it->first.c_str() + prefix.size(), nullptr)] =
+        it->second;
+  }
+  std::map<double, double> counts;
+  double prev = 0.0;
+  for (const auto& [le, cum] : cumulative) {
+    counts[le] = cum - prev;
+    prev = cum;
+  }
+  return counts;
+}
+
+/// Quantile (seconds) of the distribution recorded between two metrics
+/// samples: diff the per-bucket counts, then walk the delta histogram.
+/// Returns 0 when nothing was recorded in the window.
+double DeltaQuantileSeconds(const std::map<std::string, double>& now,
+                            const std::map<std::string, double>& prev,
+                            const std::string& hist, double q) {
+  std::map<double, double> now_counts = BucketCounts(now, hist);
+  std::map<double, double> prev_counts = BucketCounts(prev, hist);
+  double total = 0.0;
+  for (auto& [le, count] : now_counts) {
+    auto it = prev_counts.find(le);
+    if (it != prev_counts.end()) count -= it->second;
+    if (count < 0.0) count = 0.0;
+    total += count;
+  }
+  if (total <= 0.0) return 0.0;
+  const double target = q * total;
+  double acc = 0.0;
+  double last_finite = 0.0;
+  for (const auto& [le, count] : now_counts) {
+    acc += count;
+    if (!std::isinf(le)) last_finite = le;
+    if (acc >= target && count > 0.0) {
+      return std::isinf(le) ? last_finite : le;
+    }
+  }
+  return last_finite;
 }
 
 }  // namespace
@@ -103,14 +189,62 @@ int main(int argc, char** argv) {
     return s.ok() ? 0 : 1;
   }
 
-  if (cmd == "stats") {
+  if (cmd == "stats" || cmd == "metrics") {
     std::string text;
-    Status s = client.Stats(&text);
+    Status s = cmd == "stats" ? client.Stats(&text) : client.Metrics(&text);
     if (!s.ok()) {
       std::fprintf(stderr, "mvclient: %s\n", s.ToString().c_str());
       return 1;
     }
     std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "top") {
+    // top [N [INTERVAL_MS]]: poll kMetrics and render per-interval deltas —
+    // commit/abort/read rates from counter diffs, commit latency quantiles
+    // from the diffed commit_total histogram buckets.
+    uint64_t rounds = arg_at(1) != nullptr
+                          ? std::strtoull(arg_at(1), nullptr, 10)
+                          : 0;  // 0 = run until killed
+    uint32_t interval_ms = static_cast<uint32_t>(
+        arg_at(2) != nullptr ? std::strtoul(arg_at(2), nullptr, 10) : 1000);
+    if (interval_ms == 0) interval_ms = 1000;
+    std::string text;
+    Status s = client.Metrics(&text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "mvclient: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::map<std::string, double> prev = ParseMetrics(text);
+    for (uint64_t round = 0; rounds == 0 || round < rounds; ++round) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      s = client.Metrics(&text);
+      if (!s.ok()) {
+        std::fprintf(stderr, "mvclient: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::map<std::string, double> now = ParseMetrics(text);
+      const double secs = interval_ms / 1000.0;
+      auto rate = [&](const char* name) {
+        return (MetricValue(now, name) - MetricValue(prev, name)) / secs;
+      };
+      auto us = [&](double q) {
+        return DeltaQuantileSeconds(now, prev, "commit_total", q) * 1e6;
+      };
+      if (round % 20 == 0) {
+        std::printf("%10s %10s %10s %9s %9s %9s %9s\n", "commit/s", "abort/s",
+                    "read/s", "p50_us", "p90_us", "p99_us", "repl_lag");
+      }
+      std::printf("%10.0f %10.0f %10.0f %9.1f %9.1f %9.1f %9.0f\n",
+                  rate("mvstore_txn_committed_total"),
+                  rate("mvstore_txn_aborted_total"),
+                  rate("mvstore_read_latency_seconds_count"), us(0.5),
+                  us(0.9), us(0.99),
+                  MetricValue(now, "mvstore_repl_lag_timestamps"));
+      std::fflush(stdout);
+      prev = std::move(now);
+    }
     return 0;
   }
 
